@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation 2 — DBB block size (paper Sec. 8.1).
+ *
+ * "A larger block size (BZ) relaxes accuracy loss, but increases
+ * the hardware cost to exploit the sparsity." At the same 50%
+ * density bound, a 2/4 block (the A100 choice) must keep the top-2
+ * of every 4 values, while a 4/8 block keeps the top-4 of 8 — a
+ * strictly looser constraint. This ablation quantifies both sides:
+ * the pruning quality (L2 magnitude retained on Gaussian weights)
+ * and the storage/mux cost per block size.
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+
+using namespace s2ta;
+using namespace s2ta::bench;
+
+namespace {
+
+/** L2 retention of Top-NNZ pruning on N(0,1) weights. */
+double
+l2Retention(const DbbSpec &spec, Rng &rng)
+{
+    // Build a Gaussian weight matrix, quantize to INT8-like range,
+    // prune, and measure retained magnitude energy.
+    GemmProblem p(8, 512, 64);
+    for (auto &v : p.w) {
+        const double g = rng.normal(0.0, 30.0);
+        v = static_cast<int8_t>(
+            std::max(-127.0, std::min(127.0, g)));
+    }
+    const PruneStats st = pruneWeightsDbb(p, spec);
+    return st.l2_retained;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("Ablation 2",
+           "DBB block size: pruning quality vs hardware cost at a "
+           "fixed 50% density bound");
+
+    Rng rng(0xAB2);
+    Table t({"Spec", "L2 retained", "Stored B per 8 vals",
+             "Compression", "Mux width"});
+    const struct { DbbSpec spec; int mux; } cases[] = {
+        {{1, 2}, 2}, {{2, 4}, 4}, {{4, 8}, 8},
+    };
+    for (const auto &c : cases) {
+        const double l2 = l2Retention(c.spec, rng);
+        // Bytes to store 8 dense values under this spec.
+        const double stored =
+            8.0 / c.spec.bz * c.spec.storedBytesPerBlock();
+        t.addRow({c.spec.toString(), Table::percent(l2, 2),
+                  Table::num(stored, 2),
+                  Table::ratio(8.0 / stored),
+                  Table::count(c.mux) + ":1"});
+    }
+    t.print();
+
+    // Density-bound headroom: fraction of random 50%-sparse blocks
+    // that already satisfy the bound without dropping anything.
+    std::printf("\nBlocks of a random 50%%-sparse tensor that fit "
+                "the bound losslessly:\n");
+    Table t2({"Spec", "Lossless blocks", "Nonzeros dropped"});
+    for (const auto &c : cases) {
+        Rng r2(0xAB3);
+        GemmProblem p = makeUnstructuredGemm(64, 512, 64, 0.5, 0.5,
+                                             r2);
+        GemmProblem copy = p;
+        const PruneStats st = pruneWeightsDbb(copy, c.spec);
+        const double lossless =
+            1.0 - static_cast<double>(st.nonzeros_dropped) /
+                      std::max<int64_t>(1, st.nonzeros_before);
+        // Count blocks untouched.
+        int64_t blocks = 0, clean = 0;
+        std::vector<int8_t> blk(static_cast<size_t>(c.spec.bz));
+        for (int j = 0; j < p.n; ++j) {
+            for (int b = 0; b < p.k / c.spec.bz; ++b) {
+                ++blocks;
+                for (int e = 0; e < c.spec.bz; ++e)
+                    blk[static_cast<size_t>(e)] =
+                        p.wgtAt(b * c.spec.bz + e, j);
+                clean += dbbSatisfies(blk, c.spec);
+            }
+        }
+        t2.addRow({c.spec.toString(),
+                   Table::percent(static_cast<double>(clean) /
+                                  blocks, 1),
+                   Table::percent(1.0 - lossless, 1)});
+    }
+    t2.print();
+
+    std::printf("\nExpected: 4/8 retains more magnitude and leaves "
+                "more blocks untouched than 2/4\nor 1/2 at the same "
+                "density bound (the paper picks BZ=8 for exactly "
+                "this reason,\naccepting the wider 8:1 steering "
+                "mux).\n");
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Ablation 3 — variable vs fixed A-DBB density (paper Sec. 5.2).
+ *
+ * "Forcing a fixed activation DBB sparsity would be a huge
+ * compromise": activation density falls from dense in early layers
+ * to 2/8 late, so a fixed bound either destroys early-layer
+ * activations or leaves late-layer speedup on the table. This
+ * ablation builds a ResNet-like depth profile of activation tensors,
+ * lets chooseLayerNnz() auto-tune the per-layer density at a 98% L2
+ * retention target, and compares three deployments on S2TA-AW:
+ * fixed 2/8, fixed 4/8, and per-layer variable (the time-unrolled
+ * architecture's whole point).
+ */
+
+#include "bench_util.hh"
+
+using namespace s2ta;
+using namespace s2ta::bench;
+
+namespace {
+
+struct LayerPoint
+{
+    const char *name;
+    double natural_sparsity; ///< fraction of zero activations
+};
+
+/** ResNet-like activation sparsity by depth (Sec. 5.2). */
+const LayerPoint kLayers[] = {
+    {"early-1", 0.10}, {"early-2", 0.25}, {"mid-1", 0.45},
+    {"mid-2", 0.60},   {"late-1", 0.72},  {"late-2", 0.85},
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("Ablation 3",
+           "Per-layer DAP auto-tuning vs fixed A-DBB density "
+           "(S2TA-AW, 98% L2 retention target)");
+
+    Rng rng(0xAB3C);
+
+    Table t({"Layer", "Nat. sparsity", "Auto NNZ", "L2@auto",
+             "L2@fixed 2/8"});
+    int64_t var_cycles = 0, fix2_cycles = 0, fix4_cycles = 0;
+    double worst_fixed_l2 = 1.0;
+    for (const LayerPoint &lp : kLayers) {
+        // Activation tensor with this layer's natural sparsity.
+        Int8Tensor act = makeUnstructuredTensor(
+            {32, 32, 64}, lp.natural_sparsity, rng);
+        const int auto_nnz = chooseLayerNnz(act, 0.98);
+
+        Int8Tensor t_auto = act;
+        const DapStats st_auto = dapPruneTensor(
+            t_auto, auto_nnz);
+        Int8Tensor t_fix = act;
+        const DapStats st_fix = dapPruneTensor(t_fix, 2);
+        worst_fixed_l2 = std::min(worst_fixed_l2,
+                                  st_fix.l2_retained);
+
+        t.addRow({lp.name,
+                  Table::percent(lp.natural_sparsity, 0),
+                  auto_nnz == 8 ? "8/8 (bypass)"
+                                : Table::count(auto_nnz) + "/8",
+                  Table::percent(st_auto.l2_retained, 1),
+                  Table::percent(st_fix.l2_retained, 1)});
+
+        // Cycle cost of a conv consuming this tensor on S2TA-AW.
+        auto cyclesFor = [&](int nnz, const Int8Tensor &src) {
+            GemmProblem p = makeDbbGemm(256, 512, 128, 4,
+                                        std::min(nnz, 8), rng);
+            (void)src;
+            RunOptions opt;
+            opt.compute_output = false;
+            return makeArrayModel(ArrayConfig::s2taAw(nnz))
+                ->run(p, opt).events.cycles;
+        };
+        var_cycles += cyclesFor(auto_nnz, t_auto);
+        fix2_cycles += cyclesFor(2, t_fix);
+        Int8Tensor t_fix4 = act;
+        dapPruneTensor(t_fix4, 4);
+        fix4_cycles += cyclesFor(4, t_fix4);
+    }
+    t.print();
+
+    std::printf("\nTotal S2TA-AW compute cycles over the profile:\n");
+    Table t2({"Policy", "Cycles", "vs variable", "Accuracy risk"});
+    t2.addRow({"Variable (auto-tuned)", Table::count(var_cycles),
+               "1.00x", "meets 98% L2 everywhere"});
+    t2.addRow({"Fixed 4/8", Table::count(fix4_cycles),
+               Table::ratio(static_cast<double>(fix4_cycles) /
+                            var_cycles),
+               "drops early-layer data"});
+    char risk[64];
+    std::snprintf(risk, sizeof(risk), "only %.0f%% L2 on early layers",
+                  worst_fixed_l2 * 100.0);
+    t2.addRow({"Fixed 2/8", Table::count(fix2_cycles),
+               Table::ratio(static_cast<double>(fix2_cycles) /
+                            var_cycles),
+               risk});
+    t2.print();
+
+    std::printf("\nExpected (Sec. 5.2): the auto-tuner picks the "
+                "dense bypass early and 2/8 late;\na fixed bound is "
+                "either slow (4/8 wastes late-layer sparsity) or "
+                "lossy (2/8\ndestroys early-layer activations). "
+                "Time-unrolling makes the variable policy\nfree in "
+                "hardware.\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared plumbing for the paper-reproduction benchmark binaries:
+ * canonical workloads, design-point evaluation, and normalized
+ * metric records.
+ */
+
+#ifndef S2TA_BENCH_BENCH_UTIL_HH
+#define S2TA_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/models.hh"
+#include "base/table.hh"
+#include "core/dap.hh"
+#include "core/weight_pruner.hh"
+#include "energy/energy_model.hh"
+#include "workload/sparse_gen.hh"
+
+namespace s2ta {
+namespace bench {
+
+/** Outcome of one design point on one workload. */
+struct DesignPoint
+{
+    std::string name;
+    EventCounts events;
+    EnergyBreakdown energy;
+    double energy_pj = 0.0;
+    int64_t cycles = 0;
+
+    double
+    speedupOver(const DesignPoint &base) const
+    {
+        return static_cast<double>(base.cycles) /
+               static_cast<double>(cycles);
+    }
+
+    double
+    energyRatioTo(const DesignPoint &base) const
+    {
+        return energy_pj / base.energy_pj;
+    }
+};
+
+/** Evaluate one array config on a GEMM with the 16nm energy model. */
+inline DesignPoint
+evalGemm(const ArrayConfig &cfg, const GemmProblem &p,
+         const TechParams &tech = TechParams::tsmc16(),
+         int64_t extra_dap_comparisons = 0)
+{
+    AcceleratorConfig acfg;
+    acfg.array = cfg;
+    const EnergyModel em(tech, acfg);
+    RunOptions opt;
+    opt.compute_output = false;
+    GemmRun run = makeArrayModel(cfg)->run(p, opt);
+    run.events.dap_comparisons += extra_dap_comparisons;
+
+    DesignPoint dp;
+    dp.name = archKindName(cfg.kind);
+    dp.events = run.events;
+    dp.energy = em.energy(run.events);
+    dp.energy_pj = dp.energy.totalPj();
+    dp.cycles = run.events.cycles;
+    return dp;
+}
+
+/**
+ * The "typical convolution" GEMM used throughout Sec. 8.2: a
+ * mid-network 3x3 layer lowered to 512 x 1152 x 256.
+ */
+inline GemmProblem
+typicalConvGemm(double wgt_sparsity, double act_sparsity,
+                uint64_t seed = 0xBE7C4)
+{
+    Rng rng(seed);
+    return makeUnstructuredGemm(512, 1152, 256, wgt_sparsity,
+                                act_sparsity, rng);
+}
+
+/** Same geometry with exact DBB-structured operands. */
+inline GemmProblem
+typicalConvDbbGemm(int wgt_nnz, int act_nnz, uint64_t seed = 0xBE7C4)
+{
+    Rng rng(seed);
+    return makeDbbGemm(512, 1152, 256, wgt_nnz, act_nnz, rng);
+}
+
+/** Print the standard benchmark banner. */
+inline void
+banner(const char *artifact, const char *what)
+{
+    std::printf("\n=================================================="
+                "====================\n");
+    std::printf("S2TA reproduction | %s\n%s\n", artifact, what);
+    std::printf("===================================================="
+                "==================\n\n");
+}
+
+} // namespace bench
+} // namespace s2ta
+
+#endif // S2TA_BENCH_BENCH_UTIL_HH

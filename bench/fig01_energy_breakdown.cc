@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces paper Fig. 1: energy breakdown of a conventional dense
+ * INT8 systolic array running a typical CNN layer with ~50%
+ * sparsity. The paper reports SRAM 21%, PE buffers 49%, MAC
+ * datapath 20%, activation function 10%.
+ */
+
+#include "bench_util.hh"
+
+using namespace s2ta;
+using namespace s2ta::bench;
+
+int
+main()
+{
+    banner("Figure 1",
+           "Energy breakdown of a dense INT8 systolic array, "
+           "typical conv, 50% weight/activation sparsity");
+
+    const GemmProblem p = typicalConvGemm(0.5, 0.5);
+    const DesignPoint sa = evalGemm(ArrayConfig::sa(), p);
+
+    struct Row
+    {
+        const char *component;
+        double measured;
+        double paper;
+    };
+    const Row rows[] = {
+        {"SRAM Buffers", sa.energy.sramPj() / sa.energy_pj, 0.21},
+        {"PE Buffers (regs/accum)",
+         sa.energy.share(Component::PeBuffers), 0.49},
+        {"MAC Datapath", sa.energy.share(Component::MacDatapath),
+         0.20},
+        {"Activation Fn (MCU)", sa.energy.share(Component::Mcu),
+         0.10},
+    };
+
+    Table t({"Component", "Measured", "Paper Fig.1"});
+    for (const Row &r : rows)
+        t.addRow({r.component, Table::percent(r.measured),
+                  Table::percent(r.paper)});
+    t.print();
+
+    std::printf("\nTotal energy: %.1f uJ for %s MACs "
+                "(dense-equivalent)\n",
+                sa.energy.totalUj(),
+                Table::count(sa.events.logical_macs).c_str());
+    std::printf("Mean power: %.0f mW at 1 GHz\n",
+                sa.energy_pj / static_cast<double>(sa.cycles));
+    std::printf("\nKey insight (Sec. 2.1): the INT8 MAC datapath is "
+                "~20%% of energy;\noperand/result buffers dominate, "
+                "so sparsity hardware must stay lean.\n");
+    return 0;
+}

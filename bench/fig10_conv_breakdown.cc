@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Fig. 10: energy breakdown and speedup of all SA
+ * variants on a typical convolution with 50% (4/8-DBB) weight and
+ * 62.5% (3/8-DBB) activation sparsity, normalized to SA-ZVCG.
+ */
+
+#include "bench_util.hh"
+
+using namespace s2ta;
+using namespace s2ta::bench;
+
+int
+main()
+{
+    banner("Figure 10",
+           "Typical conv, 50% (4/8) weight + 62.5% (3/8) activation "
+           "sparsity; all designs run the same deployed model");
+
+    // One deployed (pruned) model shared by every design.
+    GemmProblem p = typicalConvGemm(0.5, 0.625);
+    pruneWeightsDbb(p, DbbSpec{4, 8});
+    const DapStats dap = dapPruneActivations(p, 3);
+
+    struct Variant
+    {
+        const char *label;
+        ArrayConfig cfg;
+        bool has_dap;
+    };
+    const Variant variants[] = {
+        {"SA", ArrayConfig::sa(), false},
+        {"SA-ZVCG", ArrayConfig::saZvcg(), false},
+        {"SA-SMT T2Q2", ArrayConfig::saSmt(2), false},
+        {"SA-SMT T2Q4", ArrayConfig::saSmt(4), false},
+        {"S2TA-W", ArrayConfig::s2taW(), false},
+        {"S2TA-AW", ArrayConfig::s2taAw(3), true},
+    };
+
+    std::vector<DesignPoint> pts;
+    for (const Variant &v : variants) {
+        pts.push_back(evalGemm(v.cfg, p, TechParams::tsmc16(),
+                               v.has_dap ? dap.comparisons : 0));
+        pts.back().name = v.label;
+    }
+    const DesignPoint &base = pts[1]; // SA-ZVCG
+
+    Table t({"Design", "Eff.Energy", "Datapath", "Buffers", "SRAM",
+             "ActFn", "DAP", "Speedup"});
+    for (const DesignPoint &d : pts) {
+        const double n = base.energy_pj;
+        t.addRow({d.name, Table::num(d.energy_pj / n),
+                  Table::num(d.energy.at(Component::MacDatapath) / n),
+                  Table::num(d.energy.at(Component::PeBuffers) / n),
+                  Table::num(d.energy.sramPj() / n),
+                  Table::num(d.energy.at(Component::Mcu) / n),
+                  Table::num(d.energy.at(Component::Dap) / n),
+                  Table::ratio(d.speedupOver(base), 1)});
+    }
+    t.print();
+
+    std::printf("\nPaper speedups: SA 1.0, SA-ZVCG 1.0, T2Q2 1.7, "
+                "T2Q4 1.9, S2TA-W 2.0, S2TA-AW 2.7\n");
+    std::printf("Paper energy:   SMT ~1.4x SA-ZVCG; S2TA-AW ~0.5x "
+                "with ~3x lower SRAM energy than S2TA-W\n");
+    const double sram_ratio =
+        pts[4].energy.sramPj() / pts[5].energy.sramPj();
+    std::printf("Measured S2TA-W / S2TA-AW SRAM energy: %.2fx\n",
+                sram_ratio);
+    return 0;
+}

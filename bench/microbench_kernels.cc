@@ -1,0 +1,138 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot kernels:
+ * golden GEMM, operand profiling, DBB encode/decode, DAP pruning,
+ * the SMT queue automaton, and whole-GEMM simulation per
+ * architecture. These guard the simulator's own performance (the
+ * full-model benches depend on it), not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/models.hh"
+#include "core/dap.hh"
+#include "core/dbb.hh"
+#include "core/weight_pruner.hh"
+#include "workload/sparse_gen.hh"
+
+namespace s2ta {
+namespace {
+
+const GemmProblem &
+sharedProblem()
+{
+    static const GemmProblem p = [] {
+        Rng rng(0xBEEF);
+        return makeUnstructuredGemm(256, 1152, 128, 0.5, 0.5, rng);
+    }();
+    return p;
+}
+
+void
+BM_GemmReference(benchmark::State &state)
+{
+    const GemmProblem &p = sharedProblem();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gemmReference(p));
+    state.SetItemsProcessed(state.iterations() * p.denseMacs());
+}
+BENCHMARK(BM_GemmReference)->Unit(benchmark::kMillisecond);
+
+void
+BM_OperandProfile(benchmark::State &state)
+{
+    const GemmProblem &p = sharedProblem();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(OperandProfile::build(p));
+    state.SetItemsProcessed(
+        state.iterations() *
+        (static_cast<int64_t>(p.m) * p.k + static_cast<int64_t>(p.k)
+         * p.n));
+}
+BENCHMARK(BM_OperandProfile)->Unit(benchmark::kMicrosecond);
+
+void
+BM_DbbEncodeDecode(benchmark::State &state)
+{
+    Rng rng(7);
+    GemmProblem p = makeDbbGemm(64, 512, 64, 4, 8, rng);
+    const DbbSpec spec{4, 8};
+    for (auto _ : state) {
+        const DbbMatrix m = DbbMatrix::fromWeights(p, spec);
+        benchmark::DoNotOptimize(m.toDense());
+    }
+    state.SetBytesProcessed(state.iterations() * 512 * 64);
+}
+BENCHMARK(BM_DbbEncodeDecode)->Unit(benchmark::kMicrosecond);
+
+void
+BM_DapPrune(benchmark::State &state)
+{
+    Rng rng(8);
+    const Int8Tensor base =
+        makeUnstructuredTensor({56, 56, 128}, 0.4, rng);
+    for (auto _ : state) {
+        Int8Tensor t = base;
+        benchmark::DoNotOptimize(dapPruneTensor(t, 3));
+    }
+    state.SetBytesProcessed(state.iterations() * base.size());
+}
+BENCHMARK(BM_DapPrune)->Unit(benchmark::kMillisecond);
+
+void
+BM_WeightPrune(benchmark::State &state)
+{
+    Rng rng(9);
+    const GemmProblem base =
+        makeUnstructuredGemm(8, 1152, 256, 0.0, 0.0, rng);
+    for (auto _ : state) {
+        GemmProblem p = base;
+        benchmark::DoNotOptimize(pruneWeightsDbb(p, DbbSpec{4, 8}));
+    }
+}
+BENCHMARK(BM_WeightPrune)->Unit(benchmark::kMillisecond);
+
+void
+BM_SmtQueueAutomaton(benchmark::State &state)
+{
+    Rng rng(10);
+    std::vector<int> arrivals(4096);
+    for (auto &a : arrivals)
+        a = static_cast<int>(rng.uniformInt(0, 2));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            SaSmtModel::queueCycles(arrivals, 2));
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_SmtQueueAutomaton)->Unit(benchmark::kMicrosecond);
+
+void
+BM_SimulateArch(benchmark::State &state)
+{
+    const auto kind = static_cast<ArchKind>(state.range(0));
+    ArrayConfig cfg;
+    switch (kind) {
+      case ArchKind::Sa:     cfg = ArrayConfig::sa(); break;
+      case ArchKind::SaZvcg: cfg = ArrayConfig::saZvcg(); break;
+      case ArchKind::SaSmt:  cfg = ArrayConfig::saSmt(2); break;
+      case ArchKind::S2taW:  cfg = ArrayConfig::s2taW(); break;
+      case ArchKind::S2taAw: cfg = ArrayConfig::s2taAw(4); break;
+    }
+    Rng rng(11);
+    GemmProblem p = makeDbbGemm(256, 1152, 128, 4, 4, rng);
+    const auto model = makeArrayModel(cfg);
+    RunOptions opt;
+    opt.compute_output = false;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model->run(p, opt));
+    state.SetLabel(cfg.name());
+    state.SetItemsProcessed(state.iterations() * p.denseMacs());
+}
+BENCHMARK(BM_SimulateArch)
+    ->DenseRange(0, 4, 1)
+    ->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+} // namespace s2ta
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reproduces paper Table 2: area and power breakdown of the
+ * S2TA-AW design (16nm, 8x4x4_8x8 TPE array, 512 KB WB + 2 MB AB,
+ * 4x Cortex-M33, DAP array).
+ *
+ * The paper measures power near the 4-TOPS peak operating point
+ * (4/8 weights, dense activations); we evaluate the same point with
+ * the DAP array busy compressing the produced activations.
+ */
+
+#include "bench_util.hh"
+#include "energy/published.hh"
+
+using namespace s2ta;
+using namespace s2ta::bench;
+
+int
+main()
+{
+    banner("Table 2",
+           "S2TA-AW 16nm area & power breakdown at the 4-TOPS "
+           "operating point");
+
+    // Peak-activity workload: fully occupied 4/8 weight blocks,
+    // dense activations.
+    GemmProblem p = typicalConvDbbGemm(4, 8);
+    // DAP compresses the produced output activations (next layer's
+    // input) at 5 maxpool stages of 7 comparators.
+    const int64_t out_blocks =
+        static_cast<int64_t>(p.m) * p.n / 8;
+    const int64_t dap_cmps = out_blocks * 5 * 7;
+
+    const ArrayConfig cfg = ArrayConfig::s2taAw(8);
+    const DesignPoint dp =
+        evalGemm(cfg, p, TechParams::tsmc16(), dap_cmps);
+
+    AcceleratorConfig acfg;
+    acfg.array = cfg;
+    const EnergyModel em(TechParams::tsmc16(), acfg);
+    const AreaBreakdown area = em.area();
+
+    const double cycles = static_cast<double>(dp.cycles);
+    auto mw = [&](double pj) { return pj / cycles; }; // 1 GHz
+
+    struct Row
+    {
+        const char *label;
+        double power_mw;
+        double area_mm2;
+    };
+    const Row rows[] = {
+        {"MAC Datapath and Buffers",
+         mw(dp.energy.at(Component::MacDatapath) +
+            dp.energy.at(Component::PeBuffers)),
+         area.at(Component::MacDatapath) +
+             area.at(Component::PeBuffers)},
+        {"Weight SRAM (512KB)",
+         mw(dp.energy.at(Component::WeightSram)),
+         area.at(Component::WeightSram)},
+        {"Activation SRAM (2MB)",
+         mw(dp.energy.at(Component::ActSram)),
+         area.at(Component::ActSram)},
+        {"Cortex-M33 MCU x4", mw(dp.energy.at(Component::Mcu)),
+         area.at(Component::Mcu)},
+        {"DAP Array", mw(dp.energy.at(Component::Dap)),
+         area.at(Component::Dap)},
+    };
+
+    double total_mw = 0.0, total_mm2 = 0.0;
+    for (const Row &r : rows) {
+        total_mw += r.power_mw;
+        total_mm2 += r.area_mm2;
+    }
+
+    Table t({"Component", "Power mW", "Share", "Area mm2", "Share",
+             "Paper mW", "Paper mm2"});
+    for (size_t i = 0; i < std::size(rows); ++i) {
+        const Row &r = rows[i];
+        t.addRow({r.label, Table::num(r.power_mw, 1),
+                  Table::percent(r.power_mw / total_mw),
+                  Table::num(r.area_mm2, 2),
+                  Table::percent(r.area_mm2 / total_mm2),
+                  Table::num(published::kTable2[i].power_mw, 1),
+                  Table::num(published::kTable2[i].area_mm2, 2)});
+    }
+    t.addSeparator();
+    t.addRow({"Total", Table::num(total_mw, 1), "100.0%",
+              Table::num(total_mm2, 2), "100.0%", "541.3", "3.77"});
+    t.print();
+
+    std::printf("\nPeak (dense) throughput: %.2f TOPS at 1 GHz with "
+                "%ld MACs\n", cfg.densePeakTops(),
+                cfg.totalMacs());
+    return 0;
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Reproduces paper Table 3 (accuracy of DBB pruning variants) on
+ * the synthetic substitution testbeds (DESIGN.md Sec. 5): ImageNet
+ * and MNIST are unavailable offline, so small CNN/MLP testbeds on
+ * deterministic synthetic tasks exercise exactly the same pruning
+ * and fine-tuning machinery (Top-NNZ W-DBB projection, DAP with
+ * straight-through gradients, INT8 fake-quantized weights).
+ *
+ * The claim under test is *relative*: DBB pruning with DBB-aware
+ * fine-tuning costs ~1% accuracy or less, while one-shot pruning
+ * without fine-tuning costs much more (e.g. the paper's MobileNet
+ * 71% -> 56.1% -> 70.2% A-DBB arc).
+ */
+
+#include "bench_util.hh"
+#include "energy/published.hh"
+#include "nn/trainer.hh"
+
+using namespace s2ta;
+using namespace s2ta::bench;
+
+namespace {
+
+struct Row
+{
+    std::string model;
+    std::string a_dbb;
+    std::string w_dbb;
+    double baseline_pct;
+    double no_ft_pct;
+    double tuned_pct;
+};
+
+/**
+ * Evaluate one (A-DBB, W-DBB) variant: restore the trained baseline
+ * weights, apply the pruning, measure raw accuracy, fine-tune with
+ * the constraints in the loop, and measure again. Weights are fake
+ * INT8-quantized for every reported evaluation.
+ */
+Row
+runVariant(const std::string &model_name, Network &net,
+           const std::vector<FloatTensor> &baseline_params,
+           double baseline_pct, const Dataset &train_set,
+           const Dataset &test_set, int act_nnz, int wgt_nnz)
+{
+    Row row;
+    row.model = model_name;
+    row.a_dbb = act_nnz < 8 ? DbbSpec{act_nnz, 8}.toString() : "-";
+    row.w_dbb = wgt_nnz < 8 ? DbbSpec{wgt_nnz, 8}.toString() : "-";
+    row.baseline_pct = baseline_pct;
+
+    net.restoreParameters(baseline_params);
+    net.disableDap();
+    if (act_nnz < 8)
+        net.enableDap(act_nnz);
+    if (wgt_nnz < 8)
+        net.applyWeightDbb(DbbSpec{wgt_nnz, 8});
+    {
+        // Evaluate INT8-deployed accuracy without fine-tuning.
+        const auto pre_quant = net.snapshotParameters();
+        net.fakeQuantizeWeightsInt8();
+        row.no_ft_pct = evaluate(net, test_set) * 100.0;
+        net.restoreParameters(pre_quant);
+    }
+
+    TrainConfig ft;
+    ft.epochs = 5;
+    ft.lr = 0.015f;
+    ft.lr_decay = 0.8f;
+    ft.use_weight_dbb = wgt_nnz < 8;
+    ft.weight_dbb = DbbSpec{wgt_nnz < 8 ? wgt_nnz : 8, 8};
+    ft.weight_dbb_ramp = 2;
+    train(net, train_set, ft);
+    net.fakeQuantizeWeightsInt8();
+    row.tuned_pct = evaluate(net, test_set) * 100.0;
+    return row;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("Table 3",
+           "DBB pruning accuracy on the synthetic substitution "
+           "testbeds (see DESIGN.md Sec. 5)");
+
+    std::vector<Row> rows;
+
+    // ---- Vision CNN testbed (stands in for the CNN rows) --------
+    {
+        SyntheticVisionConfig vcfg;
+        Rng drng(0xDA7A);
+        const Dataset train_set = makeSyntheticVision(900, vcfg,
+                                                      drng);
+        const Dataset test_set = makeSyntheticVision(300, vcfg,
+                                                     drng);
+        Rng rng(0xB00);
+        Network net =
+            makeTestbedCnn(vcfg.channels, vcfg.num_classes, rng);
+        // Train to saturation so fine-tuning deltas are read
+        // against a converged baseline.
+        TrainConfig base;
+        base.epochs = 14;
+        base.lr = 0.04f;
+        base.lr_decay = 0.85f;
+        train(net, train_set, base);
+        const auto params = net.snapshotParameters();
+        {
+            const auto pre = net.snapshotParameters();
+            net.fakeQuantizeWeightsInt8();
+            const double baseline =
+                evaluate(net, test_set) * 100.0;
+            net.restoreParameters(pre);
+
+            const struct { int a, w; } variants[] = {
+                {3, 8}, {8, 2}, {4, 2}, {2, 8},
+            };
+            for (const auto &v : variants) {
+                rows.push_back(runVariant(
+                    "TestbedCNN (vision)", net, params, baseline,
+                    train_set, test_set, v.a, v.w));
+            }
+        }
+    }
+
+    // ---- MLP testbed (stands in for the I-BERT FC rows) ---------
+    {
+        SyntheticFeatureConfig fcfg;
+        Rng drng(0xFEED);
+        const Dataset train_set =
+            makeSyntheticFeatures(900, fcfg, drng);
+        const Dataset test_set =
+            makeSyntheticFeatures(300, fcfg, drng);
+        Rng rng(0xB01);
+        Network net =
+            makeTestbedMlp(fcfg.dim, fcfg.num_classes, rng);
+        TrainConfig base;
+        base.epochs = 10;
+        base.lr = 0.02f;
+        train(net, train_set, base);
+        const auto params = net.snapshotParameters();
+        const auto pre = net.snapshotParameters();
+        net.fakeQuantizeWeightsInt8();
+        const double baseline = evaluate(net, test_set) * 100.0;
+        net.restoreParameters(pre);
+
+        const struct { int a, w; } variants[] = {
+            {4, 8}, {8, 4}, {4, 4},
+        };
+        for (const auto &v : variants) {
+            rows.push_back(runVariant("TestbedMLP (FC layers)", net,
+                                      params, baseline, train_set,
+                                      test_set, v.a, v.w));
+        }
+    }
+
+    Table t({"Model", "A-DBB", "W-DBB", "Baseline", "No fine-tune",
+             "Fine-tuned", "Tuned loss"});
+    for (const Row &r : rows) {
+        t.addRow({r.model, r.a_dbb, r.w_dbb,
+                  Table::num(r.baseline_pct, 1) + "%",
+                  Table::num(r.no_ft_pct, 1) + "%",
+                  Table::num(r.tuned_pct, 1) + "%",
+                  Table::num(r.baseline_pct - r.tuned_pct, 1)
+                      + " pp"});
+    }
+    t.print();
+
+    std::printf("\nPaper Table 3 reference (full-scale models):\n");
+    Table ref({"Model", "Dataset", "A-DBB", "W-DBB", "Baseline",
+               "Pruned"});
+    for (const auto &r : published::kTable3) {
+        ref.addRow({r.model, r.dataset, r.a_dbb, r.w_dbb,
+                    Table::num(r.baseline_pct, 1) + "%",
+                    Table::num(r.pruned_pct, 1) + "%"});
+    }
+    ref.print();
+    std::printf("\nShape check: fine-tuned DBB variants should sit "
+                "within ~1-2 pp of baseline;\none-shot pruning "
+                "without fine-tuning should lose much more (cf. "
+                "MobileNet 71 -> 56.1 -> 70.2).\n");
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Reproduces paper Table 4: cross-accelerator comparison in 16nm
+ * and 65nm — area, peak throughput/efficiency at 50% and 75%
+ * sparsity, and AlexNet / MobileNet full-model rates. SparTen and
+ * Eyeriss v2 rows are published values, exactly as in the paper.
+ */
+
+#include "bench_util.hh"
+#include "energy/published.hh"
+#include "workload/model_workloads.hh"
+
+using namespace s2ta;
+using namespace s2ta::bench;
+
+namespace {
+
+struct Variant { const char *label; ArrayConfig cfg; };
+
+const Variant kVariants[] = {
+    {"SA-ZVCG", ArrayConfig::saZvcg()},
+    {"SA-SMT", ArrayConfig::saSmt(2)},
+    {"S2TA-W", ArrayConfig::s2taW()},
+    {"S2TA-AW", ArrayConfig::s2taAw(4)},
+};
+
+/** Peak rows: DBB-structured microbenchmark at a sparsity level. */
+void
+peakRows(const TechParams &tech, Table &t)
+{
+    for (const Variant &v : kVariants) {
+        AcceleratorConfig acfg;
+        acfg.array = v.cfg;
+        const EnergyModel em(tech, acfg);
+        const double area = em.area().totalMm2();
+
+        double tops[2], topsw[2];
+        int i = 0;
+        for (int nnz : {4, 2}) { // 50% and 75% sparse
+            ArrayConfig cfg = v.cfg;
+            GemmProblem p =
+                cfg.kind == ArchKind::S2taAw ||
+                        cfg.kind == ArchKind::S2taW
+                    ? typicalConvDbbGemm(nnz, nnz)
+                    : typicalConvGemm(nnz == 4 ? 0.5 : 0.75,
+                                      nnz == 4 ? 0.5 : 0.75);
+            if (cfg.kind == ArchKind::S2taAw) {
+                cfg.act_nnz = nnz;
+                cfg.weight_dbb = DbbSpec{nnz, 8};
+            } else if (cfg.kind == ArchKind::S2taW) {
+                cfg.weight_dbb = DbbSpec{nnz, 8};
+            }
+            const DesignPoint dp = evalGemm(cfg, p, tech);
+            AcceleratorConfig acfg2;
+            acfg2.array = cfg;
+            const EnergyModel em2(tech, acfg2);
+            tops[i] = em2.effectiveTops(dp.events);
+            topsw[i] = em2.effectiveTopsPerWatt(dp.events);
+            ++i;
+        }
+        t.addRow({v.label, Table::num(area, 1),
+                  Table::num(tops[0], 1) + " (" +
+                      Table::num(tops[1], 1) + ")",
+                  Table::num(topsw[0], 1) + " (" +
+                      Table::num(topsw[1], 1) + ")"});
+    }
+}
+
+/** Full-model rows: inferences/s, inferences/J, TOPS/W. */
+void
+modelRows(const TechParams &tech, const ModelWorkload &mw, Table &t)
+{
+    for (const Variant &v : kVariants) {
+        AcceleratorConfig acfg;
+        acfg.array = v.cfg;
+        const Accelerator acc(acfg);
+        const EnergyModel em(tech, acfg);
+        const NetworkRun nr = acc.runNetwork(mw.layers);
+        const double seconds =
+            static_cast<double>(nr.total.cycles) /
+            (tech.freq_ghz * 1e9);
+        const double joules =
+            em.energy(nr.total).totalPj() * 1e-12;
+        t.addRow({v.label,
+                  Table::num(1.0 / seconds / 1e3, 2),
+                  Table::num(1.0 / joules / 1e3, 2),
+                  Table::num(em.effectiveTopsPerWatt(nr.total), 2)});
+    }
+}
+
+void
+publishedRow(Table &t, const published::AcceleratorDatapoint &d)
+{
+    t.addRow({std::string(d.name) + " (" + d.process + ", pub.)",
+              d.alexnet_kinf_per_j >= 0
+                  ? Table::num(d.alexnet_kinf_per_j, 2)
+                  : "-",
+              d.alexnet_tops_per_w >= 0
+                  ? Table::num(d.alexnet_tops_per_w, 2)
+                  : "-",
+              d.mobilenet_tops_per_w >= 0
+                  ? Table::num(d.mobilenet_tops_per_w, 2)
+                  : "-"});
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("Table 4",
+           "Comparison of S2TA-AW and baselines (our models) with "
+           "published sparse accelerators");
+
+    Rng rng(0x7AB4);
+    const ModelWorkload alex = buildModelWorkload(alexNet(), rng);
+    const ModelWorkload mobile =
+        buildModelWorkload(mobileNetV1(), rng);
+
+    for (const TechParams &tech :
+         {TechParams::tsmc16(), TechParams::tsmc65()}) {
+        std::printf("---- %s implementations (%.1f GHz) ----\n\n",
+                    tech.name.c_str(), tech.freq_ghz);
+
+        Table peak({"Design", "Area mm2", "Eff. TOPS 50% (75%)",
+                    "TOPS/W 50% (75%)"});
+        peakRows(tech, peak);
+        peak.print();
+
+        std::printf("\nAlexNet (full model):\n");
+        Table ta({"Design", "x1e3 Inf/s", "x1e3 Inf/J", "TOPS/W"});
+        modelRows(tech, alex, ta);
+        ta.print();
+
+        std::printf("\nMobileNetV1 (full model):\n");
+        Table tm({"Design", "x1e3 Inf/s", "x1e3 Inf/J", "TOPS/W"});
+        modelRows(tech, mobile, tm);
+        tm.print();
+        std::printf("\n");
+    }
+
+    std::printf("---- Published datapoints quoted by the paper "
+                "----\n\n");
+    Table pub({"Design", "AlexNet x1e3 Inf/J", "AlexNet TOPS/W",
+               "MobileNet TOPS/W"});
+    publishedRow(pub, published::kSparTen);
+    publishedRow(pub, published::kEyerissV2);
+    pub.print();
+
+    std::printf("\nPaper 16nm anchors: SA-ZVCG 10.5 TOPS/W peak, "
+                "S2TA-AW 14.3 (26.5 @75%%) TOPS/W;\n65nm: SA-ZVCG "
+                "0.78, S2TA-AW 1.1 TOPS/W peak. A100 (2/4 W-DBB) "
+                "peaks at %.2f TOPS/W\nper the paper's Sec. 9 -- "
+                "~4x below the S2TA-W baseline.\n",
+                published::kA100.peak_tops_per_w);
+    return 0;
+}

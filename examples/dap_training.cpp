@@ -1,0 +1,89 @@
+/**
+ * @file
+ * DBB-aware training walkthrough (paper Sec. 8.1): train a small
+ * CNN, then show the three-act accuracy arc of Dynamic Activation
+ * Pruning — baseline, one-shot DAP (accuracy drops), DAP-aware
+ * fine-tuning with straight-through gradients (accuracy recovers) —
+ * followed by joint A/W-DBB fine-tuning.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "nn/trainer.hh"
+
+using namespace s2ta;
+
+int
+main()
+{
+    std::printf("DAP / W-DBB fine-tuning demo (synthetic vision "
+                "task)\n\n");
+
+    SyntheticVisionConfig vcfg;
+    Rng drng(0x5EED5);
+    const Dataset train_set = makeSyntheticVision(900, vcfg, drng);
+    const Dataset test_set = makeSyntheticVision(300, vcfg, drng);
+
+    Rng rng(1);
+    Network net = makeTestbedCnn(vcfg.channels, vcfg.num_classes,
+                                 rng);
+
+    // Act 1: baseline training.
+    TrainConfig base;
+    base.epochs = 14;
+    base.lr = 0.04f;
+    base.lr_decay = 0.85f;
+    base.log_every = 4;
+    std::printf("[1/4] training float baseline...\n");
+    train(net, train_set, base);
+    const double acc_base = evaluate(net, test_set);
+
+    // Act 2: switch DAP on at 2/8 without fine-tuning. This is the
+    // paper's MobileNet 71% -> 56.1% moment.
+    net.enableDap(2);
+    const double acc_raw = evaluate(net, test_set);
+
+    // Act 3: DAP-aware fine-tuning; the DAP layers stay active in
+    // the forward pass and back-propagate through the binary keep
+    // mask (straight-through estimator).
+    std::printf("[2/4] DAP-aware fine-tuning at 2/8...\n");
+    TrainConfig dap_ft;
+    dap_ft.epochs = 5;
+    dap_ft.lr = 0.015f;
+    dap_ft.lr_decay = 0.8f;
+    train(net, train_set, dap_ft);
+    const double acc_dap = evaluate(net, test_set);
+
+    // Act 4: add 4/8 W-DBB on top (joint A/W-DBB deployment).
+    std::printf("[3/4] joint A/W-DBB fine-tuning (+4/8 weights)..."
+                "\n");
+    TrainConfig joint;
+    joint.epochs = 5;
+    joint.lr = 0.015f;
+    joint.lr_decay = 0.8f;
+    joint.use_weight_dbb = true;
+    joint.weight_dbb = DbbSpec{4, 8};
+    joint.weight_dbb_ramp = 2;
+    train(net, train_set, joint);
+    net.fakeQuantizeWeightsInt8();
+    const double acc_joint = evaluate(net, test_set);
+
+    std::printf("[4/4] results\n\n");
+    Table t({"Stage", "Test accuracy", "Delta vs baseline"});
+    auto pct = [](double v) { return Table::percent(v, 1); };
+    t.addRow({"Float baseline", pct(acc_base), "-"});
+    t.addRow({"DAP 2/8, no fine-tune", pct(acc_raw),
+              Table::num((acc_raw - acc_base) * 100.0, 1) + " pp"});
+    t.addRow({"DAP 2/8, fine-tuned", pct(acc_dap),
+              Table::num((acc_dap - acc_base) * 100.0, 1) + " pp"});
+    t.addRow({"Joint A/W-DBB + INT8", pct(acc_joint),
+              Table::num((acc_joint - acc_base) * 100.0, 1) +
+                  " pp"});
+    t.print();
+
+    std::printf("\nExpected shape (paper Sec. 8.1): a visible drop "
+                "without fine-tuning,\nrecovery to within ~1-2 pp "
+                "with DAP-aware training.\n");
+    return 0;
+}

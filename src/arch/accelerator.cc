@@ -1,0 +1,184 @@
+#include "arch/accelerator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/dap.hh"
+
+namespace s2ta {
+
+void
+NetworkRun::add(LayerRun lr)
+{
+    total.add(lr.events);
+    dense_macs += lr.dense_macs;
+    layers.push_back(std::move(lr));
+}
+
+Accelerator::Accelerator(AcceleratorConfig cfg_) : cfg(cfg_)
+{
+    cfg.array.check();
+    if (cfg.wgt_sram_bytes <= 0 || cfg.act_sram_bytes <= 0)
+        s2ta_fatal("non-positive SRAM size");
+    if (cfg.dma_bytes_per_cycle <= 0.0)
+        s2ta_fatal("non-positive DMA bandwidth");
+}
+
+int
+Accelerator::channelAlign() const
+{
+    const ArchKind kind = cfg.array.kind;
+    return (kind == ArchKind::S2taW || kind == ArchKind::S2taAw)
+               ? cfg.array.bz
+               : 1;
+}
+
+LayerRun
+Accelerator::runLayer(const LayerWorkload &wl,
+                      bool compute_output) const
+{
+    s2ta_assert(wl.shape.valid(), "invalid shape for layer '%s'",
+                wl.name.c_str());
+
+    LayerRun lr;
+    lr.name = wl.name;
+    lr.dense_macs = wl.shape.denseMacs();
+    lr.act_nnz_used = wl.act_nnz;
+
+    // Per-layer variable A-DBB (and the per-layer weight bound):
+    // rebuild the (stateless) array model with this layer's
+    // serialization depth (Sec. 5.2). Grouped layers tighten both
+    // bounds structurally: an im2col channel segment holds at most
+    // groupInC real values per BZ-block (a depthwise tap has one),
+    // so the compiler programs the tighter bound.
+    ArrayConfig acfg = cfg.array;
+    const int seg_bound =
+        std::min(acfg.bz, std::max(1, wl.shape.groupInC()));
+    if (acfg.kind == ArchKind::S2taAw)
+        acfg.act_nnz = std::min(wl.act_nnz, seg_bound);
+    if (acfg.kind == ArchKind::S2taAw ||
+        acfg.kind == ArchKind::S2taW) {
+        acfg.weight_dbb =
+            DbbSpec{std::min(wl.wgt_nnz, seg_bound), acfg.bz};
+    }
+    const auto model = makeArrayModel(acfg);
+
+    RunOptions opt;
+    opt.compute_output = compute_output;
+
+    if (compute_output) {
+        lr.output = Int32Tensor(
+            {wl.shape.outH(), wl.shape.outW(), wl.shape.out_c}, 0);
+    }
+
+    for (int g = 0; g < wl.shape.groups; ++g) {
+        GemmProblem p = im2colLower(wl.shape, wl.input, wl.weights,
+                                    g, channelAlign());
+        GemmRun run = model->run(p, opt);
+        lr.events.add(run.events);
+        if (compute_output)
+            scatterGemmResult(wl.shape, g, run.output, lr.output);
+    }
+
+    // The DAP array prunes the input tensor once as it is written to
+    // the activation SRAM; its comparator activity belongs to the
+    // S2TA-AW design only (other designs have no DAP hardware).
+    if (acfg.kind == ArchKind::S2taAw && wl.act_nnz < acfg.bz) {
+        Int8Tensor copy = wl.input;
+        const DapStats ds = dapPruneTensor(copy, wl.act_nnz);
+        lr.events.dap_comparisons = ds.comparisons;
+        s2ta_assert(ds.nonzeros_dropped == 0,
+                    "layer '%s' input does not satisfy its declared "
+                    "A-DBB bound %d/8", wl.name.c_str(), wl.act_nnz);
+    }
+
+    // ---- DMA traffic ---------------------------------------------
+    // Operands enter compressed where the architecture stores them
+    // compressed; outputs leave dense INT8.
+    const bool dbb_w = acfg.kind == ArchKind::S2taW ||
+                       acfg.kind == ArchKind::S2taAw;
+    const bool dbb_a = acfg.kind == ArchKind::S2taAw &&
+                       wl.act_nnz < acfg.bz;
+
+    const int64_t wgt_elems = wl.weights.size();
+    int64_t wgt_bytes = wgt_elems;
+    if (dbb_w) {
+        const int bz = acfg.bz;
+        const int64_t blocks = (wgt_elems + bz - 1) / bz;
+        wgt_bytes = blocks * acfg.weight_dbb.storedBytesPerBlock();
+    }
+    const int64_t act_elems = wl.input.size();
+    int64_t act_bytes = act_elems;
+    if (dbb_a) {
+        const int bz = acfg.bz;
+        const int64_t blocks = (act_elems + bz - 1) / bz;
+        act_bytes = blocks * (wl.act_nnz + 1);
+    }
+    const int64_t out_bytes = static_cast<int64_t>(wl.shape.outH()) *
+                              wl.shape.outW() * wl.shape.out_c;
+
+    // Residency policy: an operand that fits its SRAM is loaded
+    // once. An operand that overflows is *streamed* once when the
+    // other operand is resident (column-stripe-outer order for
+    // oversized weights, row-stripe-outer for oversized
+    // activations); only when neither fits must the cheaper one be
+    // re-streamed per stripe of the other.
+    const int row_tiles =
+        (wl.shape.outH() * wl.shape.outW() + acfg.tileRows() - 1) /
+        acfg.tileRows();
+    const int col_tiles =
+        (wl.shape.groupOutC() + acfg.tileCols() - 1) /
+        acfg.tileCols();
+    int64_t wgt_dma = wgt_bytes;
+    int64_t act_dma = act_bytes;
+    if (wgt_bytes > cfg.wgt_sram_bytes &&
+        act_bytes > cfg.act_sram_bytes) {
+        const int64_t refetch_wgt =
+            wgt_bytes * row_tiles + act_bytes;
+        const int64_t refetch_act =
+            act_bytes * col_tiles + wgt_bytes;
+        if (refetch_wgt <= refetch_act)
+            wgt_dma = wgt_bytes * row_tiles;
+        else
+            act_dma = act_bytes * col_tiles;
+    }
+    lr.events.dma_bytes = wgt_dma + act_dma + out_bytes;
+
+    // ---- Latency: compute vs DMA (double buffered overlap) -------
+    lr.compute_cycles = lr.events.cycles;
+    const int64_t dma_cycles = static_cast<int64_t>(std::ceil(
+        static_cast<double>(lr.events.dma_bytes) /
+        cfg.dma_bytes_per_cycle));
+    if (dma_cycles > lr.compute_cycles) {
+        lr.memory_bound = true;
+        lr.events.cycles = dma_cycles;
+    }
+
+    // The MCU cluster must keep up with the activation-function
+    // stream (the paper sizes it so it never bottlenecks; warn if a
+    // configuration breaks that assumption).
+    const double mcu_tput = cfg.mcu_count * cfg.mcu_elems_per_cycle;
+    const double mcu_cycles =
+        static_cast<double>(lr.events.actfn_elements) / mcu_tput;
+    if (mcu_cycles > static_cast<double>(lr.events.cycles)) {
+        s2ta_warn("layer '%s': MCU cluster is the bottleneck "
+                  "(%.0f > %ld cycles)", wl.name.c_str(), mcu_cycles,
+                  lr.events.cycles);
+        lr.events.cycles =
+            static_cast<int64_t>(std::ceil(mcu_cycles));
+    }
+
+    return lr;
+}
+
+NetworkRun
+Accelerator::runNetwork(const std::vector<LayerWorkload> &layers,
+                        bool compute_output) const
+{
+    NetworkRun nr;
+    for (const LayerWorkload &wl : layers)
+        nr.add(runLayer(wl, compute_output));
+    return nr;
+}
+
+} // namespace s2ta

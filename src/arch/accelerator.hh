@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Full-accelerator model: the TPE array plus the software-managed
+ * SRAMs, DMA, the DAP array, and the Cortex-M33 MCU cluster (paper
+ * Sec. 6.3, Fig. 7a). Runs whole CNN layers and networks, producing
+ * per-layer event records for the energy model.
+ */
+
+#ifndef S2TA_ARCH_ACCELERATOR_HH
+#define S2TA_ARCH_ACCELERATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/array_model.hh"
+#include "tensor/conv.hh"
+#include "tensor/tensor.hh"
+
+namespace s2ta {
+
+/** System-level configuration around the array. */
+struct AcceleratorConfig
+{
+    ArrayConfig array;
+    /** Weight buffer (WB) capacity in bytes; 512 KB in the paper. */
+    int64_t wgt_sram_bytes = 512ll * 1024;
+    /** Activation buffer (AB) capacity in bytes; 2 MB in the paper. */
+    int64_t act_sram_bytes = 2ll * 1024 * 1024;
+    /** Sustained DMA bandwidth in bytes per array cycle. */
+    double dma_bytes_per_cycle = 128.0;
+    /** Cortex-M33 MCUs for non-GEMM work (4 in the paper). */
+    int mcu_count = 4;
+    /** Activation-function elements one MCU handles per cycle. */
+    double mcu_elems_per_cycle = 8.0;
+};
+
+/**
+ * One CNN layer plus the data it runs on. The tensors must already
+ * carry the desired sparsity structure (W-DBB pruned weights,
+ * DAP-structured activations); pruning is a property of the deployed
+ * model, shared by every architecture under comparison (Sec. 8.3).
+ */
+struct LayerWorkload
+{
+    std::string name;
+    Conv2dShape shape;
+    /** (in_h, in_w, in_c) activations. */
+    Int8Tensor input;
+    /** (kernel_h, kernel_w, groupInC, out_c) weights. */
+    Int8Tensor weights;
+    /** A-DBB bound the input blocks satisfy (bz for dense). */
+    int act_nnz = 8;
+    /** W-DBB bound the weight blocks satisfy (bz for dense; dense
+     *  layers run the S2TA dense-weight fallback). */
+    int wgt_nnz = 4;
+};
+
+/** Per-layer simulation outcome. */
+struct LayerRun
+{
+    std::string name;
+    EventCounts events;
+    /** Dense-equivalent MACs of the convolution. */
+    int64_t dense_macs = 0;
+    /** A-DBB density the array was configured with. */
+    int act_nnz_used = 8;
+    /** True when DMA, not compute, set the layer latency. */
+    bool memory_bound = false;
+    /** Compute-only cycles (before the DMA bound was applied). */
+    int64_t compute_cycles = 0;
+    /** Functional conv output; empty unless requested. */
+    Int32Tensor output;
+};
+
+/** Whole-network simulation outcome. */
+struct NetworkRun
+{
+    std::vector<LayerRun> layers;
+    EventCounts total;
+    int64_t dense_macs = 0;
+
+    /** Fold a layer record into the totals. */
+    void add(LayerRun lr);
+};
+
+/**
+ * The accelerator: array model + SRAM/DMA/MCU bookkeeping.
+ *
+ * Thread-compatible: const after construction; each runLayer call is
+ * independent.
+ */
+class Accelerator
+{
+  public:
+    explicit Accelerator(AcceleratorConfig cfg);
+
+    const AcceleratorConfig &config() const { return cfg; }
+
+    /**
+     * Simulate one convolution (or FC, expressed as 1x1 conv) layer.
+     *
+     * @param wl the layer and its operands.
+     * @param compute_output also compute the functional INT32 conv
+     *        result through the array datapath (slower).
+     */
+    LayerRun runLayer(const LayerWorkload &wl,
+                      bool compute_output = false) const;
+
+    /** Simulate a sequence of layers and accumulate totals. */
+    NetworkRun runNetwork(const std::vector<LayerWorkload> &layers,
+                          bool compute_output = false) const;
+
+  private:
+    /** DBB architectures need 8-aligned im2col channel segments. */
+    int channelAlign() const;
+
+    AcceleratorConfig cfg;
+};
+
+} // namespace s2ta
+
+#endif // S2TA_ARCH_ACCELERATOR_HH

@@ -1,0 +1,162 @@
+#include "arch/array_model.hh"
+
+#include "arch/models.hh"
+#include "core/dap.hh"
+#include "core/dbb.hh"
+
+namespace s2ta {
+
+OperandProfile
+OperandProfile::build(const GemmProblem &p)
+{
+    OperandProfile prof;
+    prof.m = p.m;
+    prof.k = p.k;
+    prof.n = p.n;
+    prof.row_nz.assign(static_cast<size_t>(p.m), 0);
+    prof.col_nz.assign(static_cast<size_t>(p.n), 0);
+    prof.act_nz_at_k.assign(static_cast<size_t>(p.k), 0);
+    prof.wgt_nz_at_k.assign(static_cast<size_t>(p.k), 0);
+
+    for (int i = 0; i < p.m; ++i) {
+        const int8_t *row = &p.a[static_cast<size_t>(i) * p.k];
+        for (int kk = 0; kk < p.k; ++kk) {
+            if (row[kk] != 0) {
+                ++prof.row_nz[static_cast<size_t>(i)];
+                ++prof.act_nz_at_k[static_cast<size_t>(kk)];
+            }
+        }
+    }
+    for (int kk = 0; kk < p.k; ++kk) {
+        const int8_t *row = &p.w[static_cast<size_t>(kk) * p.n];
+        for (int j = 0; j < p.n; ++j) {
+            if (row[j] != 0) {
+                ++prof.col_nz[static_cast<size_t>(j)];
+                ++prof.wgt_nz_at_k[static_cast<size_t>(kk)];
+            }
+        }
+    }
+    for (int i = 0; i < p.m; ++i)
+        prof.act_nnz += prof.row_nz[static_cast<size_t>(i)];
+    for (int j = 0; j < p.n; ++j)
+        prof.wgt_nnz += prof.col_nz[static_cast<size_t>(j)];
+    for (int kk = 0; kk < p.k; ++kk) {
+        prof.matched_products +=
+            static_cast<int64_t>(
+                prof.act_nz_at_k[static_cast<size_t>(kk)]) *
+            prof.wgt_nz_at_k[static_cast<size_t>(kk)];
+    }
+    return prof;
+}
+
+ArrayModel::ArrayModel(ArrayConfig cfg_) : cfg(cfg_)
+{
+    cfg.check();
+}
+
+int
+ArrayModel::rowTiles(int m) const
+{
+    return (m + cfg.tileRows() - 1) / cfg.tileRows();
+}
+
+int
+ArrayModel::colTiles(int n) const
+{
+    return (n + cfg.tileCols() - 1) / cfg.tileCols();
+}
+
+ArrayModel::TileGrid
+ArrayModel::tileGrid(int m, int n) const
+{
+    TileGrid grid;
+    const int tr = cfg.tileRows();
+    const int tc = cfg.tileCols();
+    grid.eff_rows = tr;
+    grid.eff_cols = tc;
+    if (2 * m <= tr) {
+        // Skinny-m GEMM (FC): broadcast-fold column stripes across
+        // the otherwise-idle row groups.
+        grid.eff_cols = tc * (tr / m);
+    } else if (2 * n <= tc) {
+        // Skinny-n GEMM (depthwise group): broadcast-fold row
+        // stripes across the otherwise-idle column groups.
+        grid.eff_rows = tr * (tc / n);
+    }
+    grid.row_tiles = (m + grid.eff_rows - 1) / grid.eff_rows;
+    grid.col_tiles = (n + grid.eff_cols - 1) / grid.eff_cols;
+    return grid;
+}
+
+void
+ArrayModel::checkOperands(const GemmProblem &p) const
+{
+    const bool dbb_kind = cfg.kind == ArchKind::S2taW ||
+                          cfg.kind == ArchKind::S2taAw;
+    if (!dbb_kind)
+        return;
+    if (p.k % cfg.bz != 0)
+        s2ta_fatal("%s requires K %% %d == 0 (K=%d)",
+                   cfg.name().c_str(), cfg.bz, p.k);
+
+    // Weight blocks must satisfy the W-DBB bound.
+    std::vector<int8_t> tmp(static_cast<size_t>(cfg.bz));
+    for (int j = 0; j < p.n; ++j) {
+        for (int b = 0; b < p.k / cfg.bz; ++b) {
+            for (int e = 0; e < cfg.bz; ++e)
+                tmp[static_cast<size_t>(e)] =
+                    p.wgtAt(b * cfg.bz + e, j);
+            if (!dbbSatisfies(tmp, cfg.weight_dbb)) {
+                s2ta_fatal("weight block (col %d, block %d) violates "
+                           "%s; run pruneWeightsDbb first", j, b,
+                           cfg.weight_dbb.toString().c_str());
+            }
+        }
+    }
+
+    // Activation blocks must satisfy the per-layer A-DBB bound.
+    if (cfg.kind == ArchKind::S2taAw && cfg.act_nnz < cfg.bz) {
+        const DbbSpec aspec{cfg.act_nnz, cfg.bz};
+        for (int i = 0; i < p.m; ++i) {
+            for (int b = 0; b < p.k / cfg.bz; ++b) {
+                for (int e = 0; e < cfg.bz; ++e)
+                    tmp[static_cast<size_t>(e)] =
+                        p.actAt(i, b * cfg.bz + e);
+                if (!dbbSatisfies(tmp, aspec)) {
+                    s2ta_fatal("activation block (row %d, block %d) "
+                               "violates %s; run DAP first", i, b,
+                               aspec.toString().c_str());
+                }
+            }
+        }
+    }
+}
+
+GemmRun
+ArrayModel::run(const GemmProblem &p, const RunOptions &opt) const
+{
+    checkOperands(p);
+    GemmRun out;
+    out.events.logical_macs = p.denseMacs();
+    simulate(p, opt, out);
+    return out;
+}
+
+std::unique_ptr<ArrayModel>
+makeArrayModel(const ArrayConfig &cfg)
+{
+    switch (cfg.kind) {
+      case ArchKind::Sa:
+      case ArchKind::SaZvcg:
+        return std::make_unique<SaModel>(cfg);
+      case ArchKind::SaSmt:
+        return std::make_unique<SaSmtModel>(cfg);
+      case ArchKind::S2taW:
+        return std::make_unique<S2taWModel>(cfg);
+      case ArchKind::S2taAw:
+        return std::make_unique<S2taAwModel>(cfg);
+    }
+    s2ta_panic("unknown architecture kind");
+}
+
+} // namespace s2ta

@@ -1,0 +1,57 @@
+#include "arch/event_counts.hh"
+
+#include <cmath>
+
+namespace s2ta {
+
+void
+EventCounts::add(const EventCounts &o)
+{
+    cycles += o.cycles;
+    logical_macs += o.logical_macs;
+    macs_executed += o.macs_executed;
+    macs_zero += o.macs_zero;
+    macs_gated += o.macs_gated;
+    operand_reg_bytes += o.operand_reg_bytes;
+    operand_reg_gated_bytes += o.operand_reg_gated_bytes;
+    accum_updates += o.accum_updates;
+    accum_gated += o.accum_gated;
+    fifo_pushes += o.fifo_pushes;
+    fifo_pops += o.fifo_pops;
+    mux_selects += o.mux_selects;
+    wgt_sram_bytes += o.wgt_sram_bytes;
+    act_sram_read_bytes += o.act_sram_read_bytes;
+    act_sram_write_bytes += o.act_sram_write_bytes;
+    dap_comparisons += o.dap_comparisons;
+    actfn_elements += o.actfn_elements;
+    dma_bytes += o.dma_bytes;
+}
+
+void
+EventCounts::scale(double factor)
+{
+    auto sc = [factor](int64_t &v) {
+        v = static_cast<int64_t>(
+            std::llround(static_cast<double>(v) * factor));
+    };
+    sc(cycles);
+    sc(logical_macs);
+    sc(macs_executed);
+    sc(macs_zero);
+    sc(macs_gated);
+    sc(operand_reg_bytes);
+    sc(operand_reg_gated_bytes);
+    sc(accum_updates);
+    sc(accum_gated);
+    sc(fifo_pushes);
+    sc(fifo_pops);
+    sc(mux_selects);
+    sc(wgt_sram_bytes);
+    sc(act_sram_read_bytes);
+    sc(act_sram_write_bytes);
+    sc(dap_comparisons);
+    sc(actfn_elements);
+    sc(dma_bytes);
+}
+
+} // namespace s2ta

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Architectural event counters.
+ *
+ * Every array model produces an EventCounts record per GEMM; the
+ * energy model (src/energy) maps these to per-component energy. The
+ * counters are the same quantities the paper extracts from annotated
+ * VCD switching traces (Sec. 7), just collected analytically.
+ */
+
+#ifndef S2TA_ARCH_EVENT_COUNTS_HH
+#define S2TA_ARCH_EVENT_COUNTS_HH
+
+#include <cstdint>
+
+namespace s2ta {
+
+/** Raw activity counts accumulated over a simulated GEMM or layer. */
+struct EventCounts
+{
+    /** Total array clock cycles (including fill/drain and stalls). */
+    int64_t cycles = 0;
+
+    /** Dense-equivalent work m*k*n (speedup/efficiency baseline). */
+    int64_t logical_macs = 0;
+
+    /** MACs where both operands are non-zero (full switching). */
+    int64_t macs_executed = 0;
+    /** MAC slots evaluated with a zero operand, *not* clock gated
+     *  (plain dense SA): reduced but non-trivial switching. */
+    int64_t macs_zero = 0;
+    /** MAC slots clock-gated (ZVCG or unused DBB slots). */
+    int64_t macs_gated = 0;
+
+    /** Operand pipeline-register bytes written (active values). */
+    int64_t operand_reg_bytes = 0;
+    /** Operand register writes gated by ZVCG (zero bytes). */
+    int64_t operand_reg_gated_bytes = 0;
+    /** 32-bit output-stationary accumulator updates. */
+    int64_t accum_updates = 0;
+    /** Accumulator updates suppressed (zero product, ZVCG). */
+    int64_t accum_gated = 0;
+
+    /** SMT staging-FIFO entry pushes (operand pairs). */
+    int64_t fifo_pushes = 0;
+    /** SMT staging-FIFO entry pops. */
+    int64_t fifo_pops = 0;
+
+    /** DBB steering-mux select operations (DP4M8 / DP1M4). */
+    int64_t mux_selects = 0;
+
+    /** Weight SRAM bytes read. */
+    int64_t wgt_sram_bytes = 0;
+    /** Activation SRAM bytes read. */
+    int64_t act_sram_read_bytes = 0;
+    /** Activation SRAM bytes written (layer outputs, DAP results). */
+    int64_t act_sram_write_bytes = 0;
+
+    /** DAP comparator operations (8-bit magnitude compares). */
+    int64_t dap_comparisons = 0;
+
+    /** Elements processed by the MCU (activation fn, pooling, ...). */
+    int64_t actfn_elements = 0;
+
+    /** DRAM<->SRAM DMA traffic in bytes. */
+    int64_t dma_bytes = 0;
+
+    /** Accumulate another record into this one. */
+    void add(const EventCounts &o);
+
+    /**
+     * Scale all counters by @p factor (used when a layer was
+     * simulated on a subsampled set of output pixels; events are
+     * linear in output pixels for fixed operand distributions).
+     * Cycle counts scale too; rounding is to nearest.
+     */
+    void scale(double factor);
+
+    /** Occupied MAC-slot cycles (executed + zero + gated). */
+    int64_t
+    macSlots() const
+    {
+        return macs_executed + macs_zero + macs_gated;
+    }
+};
+
+} // namespace s2ta
+
+#endif // S2TA_ARCH_EVENT_COUNTS_HH

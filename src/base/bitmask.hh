@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Bit-manipulation helpers for DBB positional bitmasks.
+ *
+ * A DBB block of size BZ <= 8 carries an 8-bit mask M where bit i set
+ * means "the element at expanded position i is (stored as) non-zero"
+ * (paper Fig. 5). Bit 0 corresponds to the first element in the block.
+ */
+
+#ifndef S2TA_BASE_BITMASK_HH
+#define S2TA_BASE_BITMASK_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "base/logging.hh"
+
+namespace s2ta {
+
+/** Positional bitmask type for blocks of up to 8 elements. */
+using Mask8 = uint8_t;
+
+/** Number of set bits in the mask. */
+inline int
+maskPopcount(Mask8 m)
+{
+    return std::popcount(static_cast<unsigned>(m));
+}
+
+/** True if position i (0-based) is set. */
+inline bool
+maskTest(Mask8 m, int i)
+{
+    s2ta_assert(i >= 0 && i < 8, "bit index %d", i);
+    return (m >> i) & 1u;
+}
+
+/** Return the mask with position i set. */
+inline Mask8
+maskSet(Mask8 m, int i)
+{
+    s2ta_assert(i >= 0 && i < 8, "bit index %d", i);
+    return static_cast<Mask8>(m | (1u << i));
+}
+
+/**
+ * Rank of a set position: how many set bits strictly precede bit i.
+ *
+ * This is exactly the compressed-storage slot of the element at
+ * expanded position i, and is what the DP1M4 / DP4M8 muxes compute in
+ * hardware to steer a compressed operand to a MAC.
+ */
+inline int
+maskRank(Mask8 m, int i)
+{
+    s2ta_assert(maskTest(m, i), "rank of unset bit %d in mask %02x",
+                i, m);
+    return std::popcount(static_cast<unsigned>(m & ((1u << i) - 1u)));
+}
+
+/**
+ * Position (0-based, from LSB) of the n-th set bit, n in
+ * [0, popcount). The inverse of maskRank.
+ */
+inline int
+maskNthSetBit(Mask8 m, int n)
+{
+    s2ta_assert(n >= 0 && n < maskPopcount(m),
+                "nth=%d of mask %02x", n, m);
+    for (int i = 0; i < 8; ++i) {
+        if ((m >> i) & 1u) {
+            if (n == 0)
+                return i;
+            --n;
+        }
+    }
+    s2ta_panic("unreachable");
+}
+
+/** Render as Verilog-style literal, e.g. 8'h4D (paper Fig. 8). */
+inline std::string
+maskToString(Mask8 m)
+{
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "8'h%02X", m);
+    return std::string(buf);
+}
+
+} // namespace s2ta
+
+#endif // S2TA_BASE_BITMASK_HH

@@ -1,0 +1,66 @@
+#include "base/logging.hh"
+
+namespace s2ta {
+namespace detail {
+
+namespace {
+
+/** Map a severity to the prefix printed before the message. */
+const char *
+levelPrefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // anonymous namespace
+
+void
+logVprintf(LogLevel level, const char *file, int line,
+           const char *fmt, std::va_list args)
+{
+    std::fprintf(stderr, "%s: ", levelPrefix(level));
+    std::vfprintf(stderr, fmt, args);
+    if (level == LogLevel::Fatal || level == LogLevel::Panic)
+        std::fprintf(stderr, " [%s:%d]", file, line);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+}
+
+void
+logPrintf(LogLevel level, const char *file, int line,
+          const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    logVprintf(level, file, line, fmt, args);
+    va_end(args);
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    logVprintf(LogLevel::Panic, file, line, fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    logVprintf(LogLevel::Fatal, file, line, fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace s2ta

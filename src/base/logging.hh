@@ -1,0 +1,78 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  - an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger / core dump can capture the state.
+ * fatal()  - the *user* asked for something impossible (bad config,
+ *            mismatched shapes); exits with an error code.
+ * warn()   - something is suspicious but simulation can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef S2TA_BASE_LOGGING_HH
+#define S2TA_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace s2ta {
+
+/** Severity of a log message; controls the prefix and the exit path. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Print a formatted message with a severity prefix to stderr. */
+void logVprintf(LogLevel level, const char *file, int line,
+                const char *fmt, std::va_list args);
+
+/** Shared implementation for the variadic front-ends below. */
+[[gnu::format(printf, 4, 5)]]
+void logPrintf(LogLevel level, const char *file, int line,
+               const char *fmt, ...);
+
+[[noreturn]] [[gnu::format(printf, 3, 4)]]
+void panicImpl(const char *file, int line, const char *fmt, ...);
+
+[[noreturn]] [[gnu::format(printf, 3, 4)]]
+void fatalImpl(const char *file, int line, const char *fmt, ...);
+
+} // namespace detail
+
+} // namespace s2ta
+
+/** Report an unrecoverable internal error and abort. */
+#define s2ta_panic(...) \
+    ::s2ta::detail::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+#define s2ta_fatal(...) \
+    ::s2ta::detail::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Report a suspicious condition; execution continues. */
+#define s2ta_warn(...) \
+    ::s2ta::detail::logPrintf(::s2ta::LogLevel::Warn, __FILE__, \
+                              __LINE__, __VA_ARGS__)
+
+/** Report normal operating status. */
+#define s2ta_inform(...) \
+    ::s2ta::detail::logPrintf(::s2ta::LogLevel::Inform, __FILE__, \
+                              __LINE__, __VA_ARGS__)
+
+/**
+ * Check an internal invariant; panics with the stringified condition
+ * and a mandatory printf-style explanation when it does not hold.
+ */
+#define s2ta_assert(cond, fmt, ...) \
+    do { \
+        if (!(cond)) { \
+            ::s2ta::detail::panicImpl(__FILE__, __LINE__, \
+                "assertion '%s' failed: " fmt, \
+                #cond __VA_OPT__(,) __VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // S2TA_BASE_LOGGING_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic component in the library (workload generators,
+ * synthetic datasets, weight initialization) draws from an explicitly
+ * seeded Rng so that experiments are bit-reproducible run to run.
+ */
+
+#ifndef S2TA_BASE_RANDOM_HH
+#define S2TA_BASE_RANDOM_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace s2ta {
+
+/**
+ * Seeded pseudo-random source with convenience draws.
+ *
+ * Thin wrapper over std::mt19937_64; cheap to copy so a component can
+ * fork an independent stream from a parent seed.
+ */
+class Rng
+{
+  public:
+    /** Construct from an explicit 64-bit seed. */
+    explicit Rng(uint64_t seed = 0x5312A0ull) : engine(seed) {}
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        s2ta_assert(lo <= hi, "bad range [%ld, %ld]", lo, hi);
+        return std::uniform_int_distribution<int64_t>(lo, hi)(engine);
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniformReal(double lo = 0.0, double hi = 1.0)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine);
+    }
+
+    /** Gaussian draw with the given mean and standard deviation. */
+    double
+    normal(double mean = 0.0, double stddev = 1.0)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine);
+    }
+
+    /** Bernoulli draw: true with probability p. */
+    bool
+    bernoulli(double p)
+    {
+        s2ta_assert(p >= 0.0 && p <= 1.0, "p=%g out of range", p);
+        return std::bernoulli_distribution(p)(engine);
+    }
+
+    /** Non-zero INT8 value, uniform over [-128, 127] \ {0}. */
+    int8_t
+    nonZeroInt8()
+    {
+        int64_t v = uniformInt(-128, 126);
+        return static_cast<int8_t>(v >= 0 ? v + 1 : v);
+    }
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        std::shuffle(v.begin(), v.end(), engine);
+    }
+
+    /**
+     * Choose k distinct indices from [0, n) uniformly at random.
+     * @return sorted index vector of size k.
+     */
+    std::vector<int>
+    chooseK(int n, int k)
+    {
+        s2ta_assert(k >= 0 && k <= n, "chooseK(%d, %d)", n, k);
+        std::vector<int> idx(n);
+        for (int i = 0; i < n; ++i)
+            idx[i] = i;
+        // Partial Fisher-Yates: only the first k draws are needed.
+        for (int i = 0; i < k; ++i) {
+            int j = static_cast<int>(uniformInt(i, n - 1));
+            std::swap(idx[i], idx[j]);
+        }
+        idx.resize(k);
+        std::sort(idx.begin(), idx.end());
+        return idx;
+    }
+
+    /** Fork an independent child stream. */
+    Rng
+    fork()
+    {
+        return Rng(engine());
+    }
+
+    /** Access the underlying engine (for std::shuffle et al.). */
+    std::mt19937_64 &raw() { return engine; }
+
+  private:
+    std::mt19937_64 engine;
+};
+
+} // namespace s2ta
+
+#endif // S2TA_BASE_RANDOM_HH

@@ -1,0 +1,119 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "base/logging.hh"
+
+namespace s2ta {
+
+Table::Table(std::vector<std::string> header_, std::string title_)
+    : title(std::move(title_)), header(std::move(header_))
+{
+    s2ta_assert(!header.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    s2ta_assert(row.size() == header.size(),
+                "row arity %zu != header arity %zu",
+                row.size(), header.size());
+    rows.push_back(std::move(row));
+}
+
+void
+Table::addSeparator()
+{
+    rows.emplace_back();
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::count(int64_t v)
+{
+    char raw[32];
+    std::snprintf(raw, sizeof(raw), "%" PRId64, v);
+    const std::string digits(raw);
+    // Re-emit with ',' every three digits, skipping a leading '-'.
+    const size_t start = (!digits.empty() && digits[0] == '-') ? 1 : 0;
+    std::string s = digits.substr(0, start);
+    const size_t ndigits = digits.size() - start;
+    for (size_t i = 0; i < ndigits; ++i) {
+        if (i > 0 && (ndigits - i) % 3 == 0)
+            s.push_back(',');
+        s.push_back(digits[start + i]);
+    }
+    return s;
+}
+
+std::string
+Table::ratio(double v, int precision)
+{
+    return num(v, precision) + "x";
+}
+
+std::string
+Table::percent(double frac, int precision)
+{
+    return num(frac * 100.0, precision) + "%";
+}
+
+void
+Table::print(std::FILE *out) const
+{
+    std::vector<size_t> width(header.size());
+    for (size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    size_t total = 0;
+    for (size_t w : width)
+        total += w + 3;
+
+    if (!title.empty())
+        std::fprintf(out, "== %s ==\n", title.c_str());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            // Left-align the first column, right-align the rest.
+            if (c == 0) {
+                std::fprintf(out, "%-*s", static_cast<int>(width[c]),
+                             row[c].c_str());
+            } else {
+                std::fprintf(out, "%*s", static_cast<int>(width[c]),
+                             row[c].c_str());
+            }
+            if (c + 1 < row.size())
+                std::fprintf(out, " | ");
+        }
+        std::fprintf(out, "\n");
+    };
+
+    auto print_sep = [&]() {
+        for (size_t i = 0; i < total; ++i)
+            std::fputc('-', out);
+        std::fputc('\n', out);
+    };
+
+    print_row(header);
+    print_sep();
+    for (const auto &row : rows) {
+        if (row.empty())
+            print_sep();
+        else
+            print_row(row);
+    }
+    std::fflush(out);
+}
+
+} // namespace s2ta

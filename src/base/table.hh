@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Aligned text-table printer used by the benchmark harnesses to emit
+ * the rows/series the paper's tables and figures report.
+ */
+
+#ifndef S2TA_BASE_TABLE_HH
+#define S2TA_BASE_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace s2ta {
+
+/**
+ * Column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Design", "Speedup", "Energy"});
+ *   t.addRow({"SA-ZVCG", Table::num(1.0), Table::num(1.0)});
+ *   t.print(stdout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with the header row. */
+    explicit Table(std::vector<std::string> header,
+                   std::string title = "");
+
+    /** Append a data row; must match the header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format an integer with thousands separators. */
+    static std::string count(int64_t v);
+
+    /** Format a ratio as "N.NNx". */
+    static std::string ratio(double v, int precision = 2);
+
+    /** Format a percentage as "NN.N%". */
+    static std::string percent(double frac, int precision = 1);
+
+    /** Render the table to a stream. */
+    void print(std::FILE *out = stdout) const;
+
+  private:
+    std::string title;
+    std::vector<std::string> header;
+    /** A row; empty vector encodes a separator. */
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace s2ta
+
+#endif // S2TA_BASE_TABLE_HH

@@ -1,0 +1,138 @@
+#include "core/dbb.hh"
+
+#include <cstdio>
+
+namespace s2ta {
+
+std::string
+DbbSpec::toString() const
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d/%d", nnz, bz);
+    return buf;
+}
+
+DbbBlock
+dbbEncode(std::span<const int8_t> dense, const DbbSpec &spec)
+{
+    s2ta_assert(spec.valid(), "invalid DBB spec %d/%d",
+                spec.nnz, spec.bz);
+    s2ta_assert(dense.size() == static_cast<size_t>(spec.bz),
+                "block length %zu != bz %d", dense.size(), spec.bz);
+
+    DbbBlock blk;
+    int slot = 0;
+    for (int i = 0; i < spec.bz; ++i) {
+        if (dense[static_cast<size_t>(i)] == 0)
+            continue;
+        s2ta_assert(slot < spec.nnz,
+                    "block violates %s density bound; prune first",
+                    spec.toString().c_str());
+        blk.values[static_cast<size_t>(slot)] =
+            dense[static_cast<size_t>(i)];
+        blk.mask = maskSet(blk.mask, i);
+        ++slot;
+    }
+    return blk;
+}
+
+void
+dbbDecode(const DbbBlock &block, const DbbSpec &spec,
+          std::span<int8_t> dense_out)
+{
+    s2ta_assert(dense_out.size() == static_cast<size_t>(spec.bz),
+                "output length %zu != bz %d", dense_out.size(),
+                spec.bz);
+    for (int i = 0; i < spec.bz; ++i)
+        dense_out[static_cast<size_t>(i)] = block.expandedAt(i);
+}
+
+bool
+dbbSatisfies(std::span<const int8_t> dense, const DbbSpec &spec)
+{
+    if (dense.size() != static_cast<size_t>(spec.bz))
+        return false;
+    int nz = 0;
+    for (int8_t v : dense)
+        nz += (v != 0);
+    return nz <= spec.nnz;
+}
+
+DbbMatrix
+DbbMatrix::fromWeights(const GemmProblem &p, const DbbSpec &spec)
+{
+    s2ta_assert(p.k % spec.bz == 0, "K=%d not a multiple of bz=%d",
+                p.k, spec.bz);
+    DbbMatrix m(spec, p.n, p.k / spec.bz);
+    std::vector<int8_t> tmp(static_cast<size_t>(spec.bz));
+    for (int j = 0; j < p.n; ++j) {
+        for (int b = 0; b < m.n_blocks; ++b) {
+            for (int e = 0; e < spec.bz; ++e)
+                tmp[static_cast<size_t>(e)] =
+                    p.wgtAt(b * spec.bz + e, j);
+            m.blks[static_cast<size_t>(j) * m.n_blocks + b] =
+                dbbEncode(tmp, spec);
+        }
+    }
+    return m;
+}
+
+DbbMatrix
+DbbMatrix::fromActivations(const GemmProblem &p, const DbbSpec &spec)
+{
+    s2ta_assert(p.k % spec.bz == 0, "K=%d not a multiple of bz=%d",
+                p.k, spec.bz);
+    DbbMatrix m(spec, p.m, p.k / spec.bz);
+    std::vector<int8_t> tmp(static_cast<size_t>(spec.bz));
+    for (int i = 0; i < p.m; ++i) {
+        for (int b = 0; b < m.n_blocks; ++b) {
+            for (int e = 0; e < spec.bz; ++e)
+                tmp[static_cast<size_t>(e)] =
+                    p.actAt(i, b * spec.bz + e);
+            m.blks[static_cast<size_t>(i) * m.n_blocks + b] =
+                dbbEncode(tmp, spec);
+        }
+    }
+    return m;
+}
+
+int64_t
+DbbMatrix::compressedBytes() const
+{
+    // nnz value bytes + 1 mask byte per block.
+    return static_cast<int64_t>(n_vectors) * n_blocks *
+           (dbb_spec.nnz + 1);
+}
+
+double
+DbbMatrix::occupancy() const
+{
+    if (blks.empty())
+        return 0.0;
+    int64_t stored = 0;
+    for (const DbbBlock &b : blks)
+        stored += b.storedCount();
+    return static_cast<double>(stored) /
+           (static_cast<double>(blks.size()) * dbb_spec.nnz);
+}
+
+std::vector<int8_t>
+DbbMatrix::toDense() const
+{
+    const int k = n_blocks * dbb_spec.bz;
+    std::vector<int8_t> dense(
+        static_cast<size_t>(n_vectors) * k, 0);
+    for (int v = 0; v < n_vectors; ++v) {
+        for (int b = 0; b < n_blocks; ++b) {
+            const DbbBlock &blk =
+                blks[static_cast<size_t>(v) * n_blocks + b];
+            for (int e = 0; e < dbb_spec.bz; ++e) {
+                dense[static_cast<size_t>(v) * k + b * dbb_spec.bz +
+                      e] = blk.expandedAt(e);
+            }
+        }
+    }
+    return dense;
+}
+
+} // namespace s2ta

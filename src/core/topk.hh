@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared Top-NNZ-by-magnitude selection used by both the static
+ * weight pruner (W-DBB) and Dynamic Activation Pruning (A-DBB).
+ *
+ * Selection semantics mirror the hardware (paper Fig. 8): repeated
+ * magnitude argmax with the *lowest index winning ties*, and
+ * zero-magnitude elements are never selected. A linear scan with
+ * strict-greater comparison is exactly equivalent to a left-biased
+ * binary maxpool reduction tree, so the software reference and the
+ * cycle-level hardware model provably agree.
+ */
+
+#ifndef S2TA_CORE_TOPK_HH
+#define S2TA_CORE_TOPK_HH
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "base/bitmask.hh"
+
+namespace s2ta {
+
+/** Absolute magnitude of an element, as the comparators see it. */
+inline double
+elemMagnitude(int8_t v)
+{
+    return std::abs(static_cast<int>(v));
+}
+
+inline double
+elemMagnitude(float v)
+{
+    return std::fabs(v);
+}
+
+/**
+ * Select up to @p nnz elements of @p block with the largest
+ * magnitude; returns the positional bitmask of the keepers.
+ *
+ * Blocks must have at most 8 elements (Mask8). Zero-magnitude
+ * elements are never selected, so blocks with fewer than nnz
+ * non-zeros yield masks with fewer than nnz set bits.
+ */
+template <typename T>
+Mask8
+topNnzMask(std::span<const T> block, int nnz)
+{
+    s2ta_assert(block.size() >= 1 && block.size() <= 8,
+                "block size %zu", block.size());
+    s2ta_assert(nnz >= 0, "nnz=%d", nnz);
+
+    Mask8 mask = 0;
+    const int bz = static_cast<int>(block.size());
+    for (int stage = 0; stage < nnz; ++stage) {
+        int best = -1;
+        double best_mag = 0.0;
+        for (int i = 0; i < bz; ++i) {
+            if (maskTest(mask, i))
+                continue; // selected by an earlier stage
+            const double mag =
+                elemMagnitude(block[static_cast<size_t>(i)]);
+            if (mag > best_mag) { // strict '>' => lowest index wins
+                best_mag = mag;
+                best = i;
+            }
+        }
+        if (best < 0)
+            break; // nothing non-zero left
+        mask = maskSet(mask, best);
+    }
+    return mask;
+}
+
+/** Zero every element of @p block not flagged in @p keep_mask. */
+template <typename T>
+void
+applyKeepMask(std::span<T> block, Mask8 keep_mask)
+{
+    for (size_t i = 0; i < block.size(); ++i) {
+        if (!maskTest(keep_mask, static_cast<int>(i)))
+            block[i] = T{};
+    }
+}
+
+} // namespace s2ta
+
+#endif // S2TA_CORE_TOPK_HH

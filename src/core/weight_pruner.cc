@@ -1,0 +1,174 @@
+#include "core/weight_pruner.hh"
+
+#include "core/topk.hh"
+
+namespace s2ta {
+
+namespace {
+
+/**
+ * Prune one block in place and fold the outcome into @p stats and the
+ * L2 accumulators.
+ */
+template <typename T>
+void
+pruneBlock(std::span<T> block, int nnz, PruneStats &stats,
+           double &l2_before, double &l2_after)
+{
+    for (T v : block) {
+        const double mag = elemMagnitude(v);
+        if (mag > 0.0) {
+            ++stats.nonzeros_before;
+            l2_before += mag * mag;
+        }
+    }
+    const Mask8 keep = topNnzMask(std::span<const T>(block), nnz);
+    for (size_t i = 0; i < block.size(); ++i) {
+        const double mag = elemMagnitude(block[i]);
+        if (maskTest(keep, static_cast<int>(i))) {
+            l2_after += mag * mag;
+        } else if (mag > 0.0) {
+            ++stats.nonzeros_dropped;
+        }
+    }
+    applyKeepMask(block, keep);
+    ++stats.blocks;
+}
+
+/** Prune a flat buffer of contiguous vectors of length @p vec_len. */
+template <typename T>
+PruneStats
+pruneContiguous(T *data, int64_t count, int vec_len,
+                const DbbSpec &spec)
+{
+    PruneStats stats;
+    double l2_before = 0.0, l2_after = 0.0;
+    s2ta_assert(count % vec_len == 0,
+                "buffer %ld not a multiple of vector length %d",
+                count, vec_len);
+    for (int64_t base = 0; base < count; base += vec_len) {
+        for (int off = 0; off < vec_len; off += spec.bz) {
+            const int len = std::min(spec.bz, vec_len - off);
+            const int bound = std::min(spec.nnz, len);
+            pruneBlock(std::span<T>(data + base + off,
+                                    static_cast<size_t>(len)),
+                       bound, stats, l2_before, l2_after);
+        }
+    }
+    stats.l2_retained = l2_before > 0.0 ? l2_after / l2_before : 1.0;
+    return stats;
+}
+
+} // anonymous namespace
+
+PruneStats
+pruneWeightsDbb(GemmProblem &p, const DbbSpec &spec)
+{
+    s2ta_assert(spec.valid(), "invalid spec");
+    s2ta_assert(p.k % spec.bz == 0, "K=%d vs bz=%d", p.k, spec.bz);
+
+    // Weight blocks run down columns; gather, prune, scatter.
+    PruneStats stats;
+    double l2_before = 0.0, l2_after = 0.0;
+    std::vector<int8_t> tmp(static_cast<size_t>(spec.bz));
+    for (int j = 0; j < p.n; ++j) {
+        for (int b = 0; b < p.k / spec.bz; ++b) {
+            for (int e = 0; e < spec.bz; ++e)
+                tmp[static_cast<size_t>(e)] =
+                    p.wgtAt(b * spec.bz + e, j);
+            pruneBlock(std::span<int8_t>(tmp), spec.nnz, stats,
+                       l2_before, l2_after);
+            for (int e = 0; e < spec.bz; ++e)
+                p.wgtAt(b * spec.bz + e, j) =
+                    tmp[static_cast<size_t>(e)];
+        }
+    }
+    stats.l2_retained = l2_before > 0.0 ? l2_after / l2_before : 1.0;
+    return stats;
+}
+
+PruneStats
+pruneActivationsDbb(GemmProblem &p, const DbbSpec &spec)
+{
+    s2ta_assert(spec.valid(), "invalid spec");
+    s2ta_assert(p.k % spec.bz == 0, "K=%d vs bz=%d", p.k, spec.bz);
+    return pruneContiguous(p.a.data(),
+                           static_cast<int64_t>(p.a.size()), p.k,
+                           spec);
+}
+
+PruneStats
+pruneTensorDbb(Int8Tensor &t, const DbbSpec &spec)
+{
+    s2ta_assert(spec.valid(), "invalid spec");
+    s2ta_assert(t.rank() >= 1, "rank-0 tensor");
+    const int channels = t.dim(t.rank() - 1);
+    return pruneContiguous(t.data(), t.size(), channels, spec);
+}
+
+PruneStats
+pruneFloatTensorDbb(FloatTensor &t, const DbbSpec &spec)
+{
+    s2ta_assert(spec.valid(), "invalid spec");
+    s2ta_assert(t.rank() >= 1, "rank-0 tensor");
+    const int channels = t.dim(t.rank() - 1);
+    return pruneContiguous(t.data(), t.size(), channels, spec);
+}
+
+PruneStats
+pruneFloatTensorDbbAlongDim(FloatTensor &t, int dim,
+                            const DbbSpec &spec)
+{
+    s2ta_assert(spec.valid(), "invalid spec");
+    s2ta_assert(dim >= 0 && dim < t.rank(), "dim %d of rank %d", dim,
+                t.rank());
+
+    // Iterate over all index tuples with 'dim' fixed at 0; gather
+    // the vector along 'dim', prune, and scatter back.
+    const int len = t.dim(dim);
+    int64_t outer = 1, inner = 1;
+    for (int d = 0; d < dim; ++d)
+        outer *= t.dim(d);
+    for (int d = dim + 1; d < t.rank(); ++d)
+        inner *= t.dim(d);
+
+    PruneStats stats;
+    double l2_before = 0.0, l2_after = 0.0;
+    std::vector<float> vec(static_cast<size_t>(len));
+    for (int64_t o = 0; o < outer; ++o) {
+        for (int64_t in = 0; in < inner; ++in) {
+            const int64_t base = o * len * inner + in;
+            for (int e = 0; e < len; ++e)
+                vec[static_cast<size_t>(e)] = t.flat(base + e * inner);
+            for (int off = 0; off < len; off += spec.bz) {
+                const int blk_len = std::min(spec.bz, len - off);
+                const int bound = std::min(spec.nnz, blk_len);
+                pruneBlock(std::span<float>(vec.data() + off,
+                               static_cast<size_t>(blk_len)),
+                           bound, stats, l2_before, l2_after);
+            }
+            for (int e = 0; e < len; ++e)
+                t.flat(base + e * inner) = vec[static_cast<size_t>(e)];
+        }
+    }
+    stats.l2_retained = l2_before > 0.0 ? l2_after / l2_before : 1.0;
+    return stats;
+}
+
+DbbSpec
+progressiveSpec(int epoch, int ramp_epochs, const DbbSpec &target)
+{
+    s2ta_assert(target.valid(), "invalid target spec");
+    s2ta_assert(ramp_epochs >= 1, "ramp_epochs=%d", ramp_epochs);
+    if (epoch >= ramp_epochs)
+        return target;
+    // Linear ramp from fully dense down to the target budget.
+    const double frac =
+        static_cast<double>(epoch + 1) / ramp_epochs;
+    const int span = target.bz - target.nnz;
+    const int nnz =
+        target.bz - static_cast<int>(std::lround(span * frac));
+    return DbbSpec{std::max(target.nnz, nnz), target.bz};
+}
+
+} // namespace s2ta

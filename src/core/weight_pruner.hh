@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Static weight DBB pruning (W-DBB, paper Sec. 4 and 8.1).
+ *
+ * Weights are known offline, so the density bound is enforced at
+ * training/deployment time by magnitude pruning *independently within
+ * each DBB block* ("DBB-aware weight pruning", similar to random
+ * magnitude pruning but block-local). Progressive schedules shrink
+ * the per-block budget over fine-tuning epochs.
+ */
+
+#ifndef S2TA_CORE_WEIGHT_PRUNER_HH
+#define S2TA_CORE_WEIGHT_PRUNER_HH
+
+#include <vector>
+
+#include "core/dbb.hh"
+#include "tensor/tensor.hh"
+
+namespace s2ta {
+
+/** Outcome of a pruning pass. */
+struct PruneStats
+{
+    /** Number of DBB blocks visited. */
+    int64_t blocks = 0;
+    /** Elements that were non-zero and got zeroed. */
+    int64_t nonzeros_dropped = 0;
+    /** Non-zero elements before pruning. */
+    int64_t nonzeros_before = 0;
+    /** Sum |x|^2 retained / sum |x|^2 before (1.0 when lossless). */
+    double l2_retained = 1.0;
+
+    /** Fraction of previously non-zero elements that were dropped. */
+    double
+    dropFraction() const
+    {
+        return nonzeros_before == 0
+                   ? 0.0
+                   : static_cast<double>(nonzeros_dropped) /
+                         static_cast<double>(nonzeros_before);
+    }
+};
+
+/**
+ * Prune the weight operand of a GEMM in place so every K-block of
+ * every column satisfies @p spec (keep the Top-NNZ magnitudes per
+ * block). K must be a multiple of spec.bz.
+ */
+PruneStats pruneWeightsDbb(GemmProblem &p, const DbbSpec &spec);
+
+/**
+ * Prune the activation operand of a GEMM in place so every K-block
+ * of every row satisfies @p spec. Used by microbenchmark workloads
+ * that synthesize operands directly at the GEMM level.
+ */
+PruneStats pruneActivationsDbb(GemmProblem &p, const DbbSpec &spec);
+
+/**
+ * Prune an INT8 tensor along its innermost (channel) dimension.
+ * A partial tail block of r < bz elements uses the bound
+ * min(nnz, r).
+ */
+PruneStats pruneTensorDbb(Int8Tensor &t, const DbbSpec &spec);
+
+/**
+ * Prune a float tensor along its innermost dimension (used by the
+ * training substrate for W-DBB-aware fine-tuning).
+ */
+PruneStats pruneFloatTensorDbb(FloatTensor &t, const DbbSpec &spec);
+
+/**
+ * Prune a float tensor with DBB blocks running along an arbitrary
+ * dimension @p dim (e.g. the input-channel dimension of a
+ * (kh, kw, cin, cout) convolution weight tensor, which is the
+ * paper's blocking dimension).
+ */
+PruneStats pruneFloatTensorDbbAlongDim(FloatTensor &t, int dim,
+                                       const DbbSpec &spec);
+
+/**
+ * Progressive pruning schedule (paper: "progressively pruning
+ * small-magnitude weights ... until the desired DBB sparsity
+ * constraint is met", 20-50 epochs).
+ *
+ * @param epoch current epoch, 0-based.
+ * @param ramp_epochs epochs over which the budget shrinks.
+ * @param target final spec (e.g. 4/8).
+ * @return the spec to enforce at this epoch; starts at bz/bz and
+ *         decreases linearly to target.nnz.
+ */
+DbbSpec progressiveSpec(int epoch, int ramp_epochs,
+                        const DbbSpec &target);
+
+} // namespace s2ta
+
+#endif // S2TA_CORE_WEIGHT_PRUNER_HH

@@ -1,0 +1,56 @@
+#include "energy/buffer_model.hh"
+
+#include "base/logging.hh"
+
+namespace s2ta {
+
+BufferBreakdown
+bufferModel(const ArrayConfig &cfg)
+{
+    cfg.check();
+    BufferBreakdown b;
+    const double a = cfg.tpe.a;
+    const double c = cfg.tpe.c;
+
+    switch (cfg.kind) {
+      case ArchKind::Sa:
+      case ArchKind::SaZvcg:
+        b.operand_bytes_per_mac = 2.0; // one act + one wgt register
+        b.accum_bytes_per_mac = 4.0;   // 32-bit output accumulator
+        break;
+
+      case ArchKind::SaSmt:
+        b.operand_bytes_per_mac = 2.0;
+        // T x Q entries; each entry stages an INT8 operand pair
+        // plus two position-meta bytes.
+        b.fifo_bytes_per_mac = 4.0 * cfg.smt.threads *
+                               cfg.smt.queue_depth;
+        b.accum_bytes_per_mac = 4.0;
+        break;
+
+      case ArchKind::S2taW: {
+        // Per TPE: A dense activation blocks of BZ bytes, C weight
+        // blocks of (nnz + 1 mask) bytes; A*C DP4M8 units of
+        // weight_dbb.nnz MACs sharing one accumulator each.
+        const double macs = a * c * cfg.weight_dbb.nnz;
+        b.operand_bytes_per_mac =
+            (a * cfg.bz + c * (cfg.weight_dbb.nnz + 1)) / macs;
+        b.accum_bytes_per_mac = (a * c * 4.0) / macs;
+        break;
+      }
+
+      case ArchKind::S2taAw: {
+        // Per TPE: A serialized activation lanes (current element +
+        // its position byte), C weight blocks of (nnz + 1) bytes;
+        // A*C single-MAC DP1M4 units with private accumulators.
+        const double macs = a * c;
+        b.operand_bytes_per_mac =
+            (a * 2.0 + c * (cfg.weight_dbb.nnz + 1)) / macs;
+        b.accum_bytes_per_mac = 4.0;
+        break;
+      }
+    }
+    return b;
+}
+
+} // namespace s2ta

@@ -1,0 +1,200 @@
+#include "energy/energy_model.hh"
+
+#include <numeric>
+
+namespace s2ta {
+
+const char *
+componentName(Component c)
+{
+    switch (c) {
+      case Component::MacDatapath: return "MAC Datapath";
+      case Component::PeBuffers:   return "PE Buffers";
+      case Component::WeightSram:  return "Weight SRAM";
+      case Component::ActSram:     return "Activation SRAM";
+      case Component::Dap:         return "DAP Array";
+      case Component::Mcu:         return "MCU (Act Fn)";
+      case Component::Dma:         return "DMA";
+      case Component::NumComponents: break;
+    }
+    return "?";
+}
+
+double
+EnergyBreakdown::totalPj() const
+{
+    return std::accumulate(pj.begin(), pj.end(), 0.0);
+}
+
+double
+EnergyBreakdown::share(Component c) const
+{
+    const double t = totalPj();
+    return t > 0.0 ? at(c) / t : 0.0;
+}
+
+double
+EnergyBreakdown::sramPj() const
+{
+    return at(Component::WeightSram) + at(Component::ActSram);
+}
+
+void
+EnergyBreakdown::add(const EnergyBreakdown &o)
+{
+    for (int i = 0; i < kNumComponents; ++i)
+        pj[static_cast<size_t>(i)] += o.pj[static_cast<size_t>(i)];
+}
+
+double
+AreaBreakdown::totalMm2() const
+{
+    return std::accumulate(mm2.begin(), mm2.end(), 0.0);
+}
+
+double
+AreaBreakdown::share(Component c) const
+{
+    const double t = totalMm2();
+    return t > 0.0 ? at(c) / t : 0.0;
+}
+
+EnergyModel::EnergyModel(TechParams tech_, AcceleratorConfig acfg_)
+    : tech_params(std::move(tech_)), acfg(acfg_)
+{
+    acfg.array.check();
+    acfg.array.freq_ghz = tech_params.freq_ghz;
+}
+
+EnergyBreakdown
+EnergyModel::energy(const EventCounts &ev) const
+{
+    const TechParams &t = tech_params;
+    EnergyBreakdown e;
+
+    // MAC datapath: full, zero-operand, and gated slots, plus the
+    // DBB steering muxes.
+    double mac = t.e_mac * static_cast<double>(ev.macs_executed);
+    mac += t.e_mac * t.mac_zero_factor *
+           static_cast<double>(ev.macs_zero);
+    mac += t.e_mac * t.mac_gate_factor *
+           static_cast<double>(ev.macs_gated);
+    const double e_mux = acfg.array.kind == ArchKind::S2taW
+                             ? t.e_mux8
+                             : t.e_mux4;
+    mac += e_mux * static_cast<double>(ev.mux_selects);
+    e.at(Component::MacDatapath) = mac;
+
+    // PE-array buffers: operand registers, accumulators, FIFOs.
+    double buf =
+        t.e_reg_byte * static_cast<double>(ev.operand_reg_bytes);
+    buf += t.e_reg_byte * t.reg_gate_factor *
+           static_cast<double>(ev.operand_reg_gated_bytes);
+    buf += t.e_accum * static_cast<double>(ev.accum_updates);
+    buf += t.e_accum * t.accum_gate_factor *
+           static_cast<double>(ev.accum_gated);
+    buf += t.e_fifo_op *
+           static_cast<double>(ev.fifo_pushes + ev.fifo_pops);
+    e.at(Component::PeBuffers) = buf;
+
+    // SRAM macros: dynamic access energy plus standby per cycle.
+    const double wgt_kb =
+        static_cast<double>(acfg.wgt_sram_bytes) / 1024.0;
+    const double act_kb =
+        static_cast<double>(acfg.act_sram_bytes) / 1024.0;
+    e.at(Component::WeightSram) =
+        t.sramPjPerByte(wgt_kb) *
+            static_cast<double>(ev.wgt_sram_bytes) +
+        t.sram_leak_pj_per_cycle_kb * wgt_kb *
+            static_cast<double>(ev.cycles);
+    e.at(Component::ActSram) =
+        t.sramPjPerByte(act_kb) *
+            static_cast<double>(ev.act_sram_read_bytes +
+                                ev.act_sram_write_bytes) +
+        t.sram_leak_pj_per_cycle_kb * act_kb *
+            static_cast<double>(ev.cycles);
+
+    e.at(Component::Dap) =
+        t.e_dap_cmp * static_cast<double>(ev.dap_comparisons);
+
+    e.at(Component::Mcu) =
+        t.p_mcu_pj_per_cycle * static_cast<double>(ev.cycles) +
+        t.e_mcu_elem * static_cast<double>(ev.actfn_elements);
+
+    e.at(Component::Dma) =
+        t.e_dma_byte * static_cast<double>(ev.dma_bytes);
+    return e;
+}
+
+AreaBreakdown
+EnergyModel::area() const
+{
+    const TechParams &t = tech_params;
+    const ArrayConfig &a = acfg.array;
+    AreaBreakdown ar;
+
+    const double macs = static_cast<double>(a.totalMacs());
+    double mux_area = 0.0;
+    if (a.kind == ArchKind::S2taW)
+        mux_area = t.a_mux8 * macs; // one 8:1 steer per MAC lane
+    else if (a.kind == ArchKind::S2taAw)
+        mux_area = t.a_mux4 * macs; // one 4:1 steer per DP1M4
+    ar.at(Component::MacDatapath) = t.a_mac * macs + mux_area;
+
+    const BufferBreakdown buf = bufferModel(a);
+    ar.at(Component::PeBuffers) =
+        t.a_flop_byte * buf.totalBytes(a.totalMacs());
+
+    ar.at(Component::WeightSram) =
+        t.a_sram_per_kb *
+        (static_cast<double>(acfg.wgt_sram_bytes) / 1024.0);
+    ar.at(Component::ActSram) =
+        t.a_sram_per_kb *
+        (static_cast<double>(acfg.act_sram_bytes) / 1024.0);
+
+    if (a.kind == ArchKind::S2taAw)
+        ar.at(Component::Dap) = t.a_dap_unit * t.dap_units;
+
+    ar.at(Component::Mcu) = t.a_mcu * acfg.mcu_count;
+    return ar;
+}
+
+double
+EnergyModel::powerMw(const EventCounts &ev) const
+{
+    if (ev.cycles == 0)
+        return 0.0;
+    return energy(ev).totalPj() / static_cast<double>(ev.cycles) *
+           tech_params.freq_ghz;
+}
+
+double
+EnergyModel::runtimeMs(const EventCounts &ev) const
+{
+    return static_cast<double>(ev.cycles) /
+           (tech_params.freq_ghz * 1e9) * 1e3;
+}
+
+double
+EnergyModel::effectiveTops(const EventCounts &ev) const
+{
+    if (ev.cycles == 0)
+        return 0.0;
+    const double ops = 2.0 * static_cast<double>(ev.logical_macs);
+    const double seconds =
+        static_cast<double>(ev.cycles) / (tech_params.freq_ghz * 1e9);
+    return ops / seconds * 1e-12;
+}
+
+double
+EnergyModel::effectiveTopsPerWatt(const EventCounts &ev) const
+{
+    const double pj = energy(ev).totalPj();
+    if (pj <= 0.0)
+        return 0.0;
+    const double ops = 2.0 * static_cast<double>(ev.logical_macs);
+    // ops / (pJ * 1e-12 J) scaled to tera-ops.
+    return ops / pj;
+}
+
+} // namespace s2ta

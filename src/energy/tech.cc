@@ -1,0 +1,46 @@
+#include "energy/tech.hh"
+
+namespace s2ta {
+
+TechParams
+TechParams::tsmc16()
+{
+    TechParams t;
+    t.name = "tsmc16";
+    t.freq_ghz = 1.0;
+    return t;
+}
+
+TechParams
+TechParams::tsmc65()
+{
+    TechParams t = tsmc16();
+    t.name = "tsmc65";
+    t.freq_ghz = 0.5;
+
+    const double e_scale = 13.0;
+    t.e_mac *= e_scale;
+    t.e_reg_byte *= e_scale;
+    t.e_accum *= e_scale;
+    t.e_fifo_op *= e_scale;
+    t.e_mux4 *= e_scale;
+    t.e_mux8 *= e_scale;
+    t.sram_pj_per_byte_coeff *= e_scale;
+    t.sram_leak_pj_per_cycle_kb *= e_scale;
+    t.p_mcu_pj_per_cycle *= e_scale;
+    t.e_mcu_elem *= e_scale;
+    t.e_dap_cmp *= e_scale;
+    t.e_dma_byte *= e_scale;
+
+    const double a_scale = 5.8;
+    t.a_mac *= a_scale;
+    t.a_flop_byte *= a_scale;
+    t.a_mux4 *= a_scale;
+    t.a_mux8 *= a_scale;
+    t.a_sram_per_kb *= a_scale;
+    t.a_mcu *= a_scale;
+    t.a_dap_unit *= a_scale;
+    return t;
+}
+
+} // namespace s2ta

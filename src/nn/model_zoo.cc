@@ -1,0 +1,304 @@
+#include "nn/model_zoo.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace s2ta {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv:           return "conv";
+      case LayerKind::Depthwise:      return "dw";
+      case LayerKind::Pointwise:      return "pw";
+      case LayerKind::FullyConnected: return "fc";
+    }
+    return "?";
+}
+
+int64_t
+ModelSpec::totalMacs() const
+{
+    int64_t macs = 0;
+    for (const ModelLayer &l : layers)
+        macs += l.shape.denseMacs();
+    return macs;
+}
+
+int64_t
+ModelSpec::convMacs() const
+{
+    int64_t macs = 0;
+    for (const ModelLayer &l : layers)
+        if (l.kind != LayerKind::FullyConnected)
+            macs += l.shape.denseMacs();
+    return macs;
+}
+
+int64_t
+ModelSpec::totalWeights() const
+{
+    int64_t w = 0;
+    for (const ModelLayer &l : layers) {
+        w += static_cast<int64_t>(l.shape.kernel_h) *
+             l.shape.kernel_w * l.shape.groupInC() * l.shape.out_c;
+    }
+    return w;
+}
+
+namespace {
+
+/**
+ * Incremental model builder tracking the activation resolution as
+ * layers (and pooling) are appended.
+ */
+class Builder
+{
+  public:
+    Builder(std::string name, int h, int w, int c) : h(h), w(w), c(c)
+    {
+        spec.name = std::move(name);
+    }
+
+    /** Append a convolution and update the tracked resolution. */
+    Builder &
+    conv(const std::string &name, int out_c, int kernel, int stride,
+         int pad, LayerKind kind = LayerKind::Conv, int groups = 1)
+    {
+        ModelLayer l;
+        l.name = name;
+        l.kind = kernel == 1 && kind == LayerKind::Conv
+                     ? LayerKind::Pointwise
+                     : kind;
+        l.shape.in_c = c;
+        l.shape.in_h = h;
+        l.shape.in_w = w;
+        l.shape.out_c = out_c;
+        l.shape.kernel_h = kernel;
+        l.shape.kernel_w = kernel;
+        l.shape.stride = stride;
+        l.shape.pad = pad;
+        l.shape.groups =
+            kind == LayerKind::Depthwise ? c : groups;
+        s2ta_assert(l.shape.valid(), "layer '%s' invalid",
+                    name.c_str());
+        h = l.shape.outH();
+        w = l.shape.outW();
+        c = out_c;
+        spec.layers.push_back(std::move(l));
+        return *this;
+    }
+
+    /** Depthwise 3x3 convolution. */
+    Builder &
+    dw(const std::string &name, int stride)
+    {
+        return conv(name, c, 3, stride, 1, LayerKind::Depthwise);
+    }
+
+    /** Max/avg pooling: only updates the tracked resolution. */
+    Builder &
+    pool(int kernel, int stride)
+    {
+        h = (h - kernel) / stride + 1;
+        w = (w - kernel) / stride + 1;
+        return *this;
+    }
+
+    /** Collapse the spatial extent (global average pooling). */
+    Builder &
+    globalPool()
+    {
+        h = 1;
+        w = 1;
+        return *this;
+    }
+
+    /** Fully-connected layer as a 1x1 conv over flattened input. */
+    Builder &
+    fc(const std::string &name, int out_features)
+    {
+        const int in_features = h * w * c;
+        h = 1;
+        w = 1;
+        c = in_features;
+        return conv(name, out_features, 1, 1, 0,
+                    LayerKind::FullyConnected);
+    }
+
+    ModelSpec take() { return std::move(spec); }
+
+  private:
+    ModelSpec spec;
+    int h, w, c;
+};
+
+} // anonymous namespace
+
+ModelSpec
+alexNet()
+{
+    // The original two-tower AlexNet: conv2/4/5 are 2-group
+    // convolutions, giving the classic ~666M convolution MACs the
+    // paper's AlexNet numbers correspond to.
+    Builder b("AlexNet", 227, 227, 3);
+    b.conv("conv1", 96, 11, 4, 0);
+    b.pool(3, 2);
+    b.conv("conv2", 256, 5, 1, 2, LayerKind::Conv, 2);
+    b.pool(3, 2);
+    b.conv("conv3", 384, 3, 1, 1);
+    b.conv("conv4", 384, 3, 1, 1, LayerKind::Conv, 2);
+    b.conv("conv5", 256, 3, 1, 1, LayerKind::Conv, 2);
+    b.pool(3, 2);
+    b.fc("fc6", 4096);
+    b.fc("fc7", 4096);
+    b.fc("fc8", 1000);
+    return b.take();
+}
+
+ModelSpec
+vgg16()
+{
+    Builder b("VGG-16", 224, 224, 3);
+    b.conv("conv1_1", 64, 3, 1, 1).conv("conv1_2", 64, 3, 1, 1);
+    b.pool(2, 2);
+    b.conv("conv2_1", 128, 3, 1, 1).conv("conv2_2", 128, 3, 1, 1);
+    b.pool(2, 2);
+    b.conv("conv3_1", 256, 3, 1, 1).conv("conv3_2", 256, 3, 1, 1);
+    b.conv("conv3_3", 256, 3, 1, 1);
+    b.pool(2, 2);
+    b.conv("conv4_1", 512, 3, 1, 1).conv("conv4_2", 512, 3, 1, 1);
+    b.conv("conv4_3", 512, 3, 1, 1);
+    b.pool(2, 2);
+    b.conv("conv5_1", 512, 3, 1, 1).conv("conv5_2", 512, 3, 1, 1);
+    b.conv("conv5_3", 512, 3, 1, 1);
+    b.pool(2, 2);
+    b.fc("fc6", 4096);
+    b.fc("fc7", 4096);
+    b.fc("fc8", 1000);
+    return b.take();
+}
+
+ModelSpec
+mobileNetV1()
+{
+    Builder b("MobileNetV1", 224, 224, 3);
+    b.conv("conv1", 32, 3, 2, 1);
+    struct Stage { int out_c; int stride; };
+    // The 13 depthwise-separable blocks of MobileNetV1 1.0-224.
+    const Stage stages[] = {
+        {64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},
+        {512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+        {512, 1}, {1024, 2}, {1024, 1},
+    };
+    int idx = 2;
+    for (const Stage &s : stages) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "conv%d_dw", idx);
+        b.dw(name, s.stride);
+        std::snprintf(name, sizeof(name), "conv%d_pw", idx);
+        b.conv(name, s.out_c, 1, 1, 0);
+        ++idx;
+    }
+    b.globalPool();
+    b.fc("fc", 1000);
+    return b.take();
+}
+
+ModelSpec
+resNet50()
+{
+    ModelSpec spec;
+    spec.name = "ResNet-50V1";
+
+    // Residual blocks branch, so track the block-input tensor
+    // explicitly instead of using the linear Builder.
+    int h = 224, w = 224, c = 3;
+
+    auto emit = [&spec](const std::string &name, int in_c, int in_h,
+                        int in_w, int out_c, int kernel, int stride,
+                        int pad) {
+        ModelLayer l;
+        l.name = name;
+        l.kind = kernel == 1 ? LayerKind::Pointwise : LayerKind::Conv;
+        l.shape = {in_c, in_h, in_w, out_c, kernel, kernel, stride,
+                   pad, 1};
+        s2ta_assert(l.shape.valid(), "layer '%s' invalid",
+                    name.c_str());
+        spec.layers.push_back(std::move(l));
+    };
+
+    emit("conv1", c, h, w, 64, 7, 2, 3);
+    // conv1 output is 112x112x64; the 3x3/2 pad-1 max pool halves
+    // the resolution to 56x56.
+    h = 56; w = 56; c = 64;
+
+    struct StageCfg { int mid; int out; int blocks; const char *nm; };
+    const StageCfg stages[] = {
+        {64, 256, 3, "conv2"},
+        {128, 512, 4, "conv3"},
+        {256, 1024, 6, "conv4"},
+        {512, 2048, 3, "conv5"},
+    };
+    bool first_stage = true;
+    for (const StageCfg &st : stages) {
+        for (int blk = 0; blk < st.blocks; ++blk) {
+            char name[48];
+            // The first block of conv3/4/5 downsamples (stride in
+            // the 1x1a and the projection, ResNet v1 convention).
+            const int stride = (blk == 0 && !first_stage) ? 2 : 1;
+            const int oh = (h - 1) / stride + 1;
+            const int ow = (w - 1) / stride + 1;
+            if (blk == 0) {
+                std::snprintf(name, sizeof(name), "%s_b%d_proj",
+                              st.nm, blk + 1);
+                emit(name, c, h, w, st.out, 1, stride, 0);
+            }
+            std::snprintf(name, sizeof(name), "%s_b%d_1x1a", st.nm,
+                          blk + 1);
+            emit(name, c, h, w, st.mid, 1, stride, 0);
+            std::snprintf(name, sizeof(name), "%s_b%d_3x3", st.nm,
+                          blk + 1);
+            emit(name, st.mid, oh, ow, st.mid, 3, 1, 1);
+            std::snprintf(name, sizeof(name), "%s_b%d_1x1b", st.nm,
+                          blk + 1);
+            emit(name, st.mid, oh, ow, st.out, 1, 1, 0);
+            h = oh;
+            w = ow;
+            c = st.out;
+        }
+        first_stage = false;
+    }
+
+    // Global average pool then FC, as a 1x1 conv on 1x1x2048.
+    ModelLayer fc;
+    fc.name = "fc";
+    fc.kind = LayerKind::FullyConnected;
+    fc.shape = {c, 1, 1, 1000, 1, 1, 1, 0, 1};
+    spec.layers.push_back(std::move(fc));
+    return spec;
+}
+
+ModelSpec
+leNet5()
+{
+    Builder b("LeNet-5", 28, 28, 1);
+    b.conv("conv1", 6, 5, 1, 2);
+    b.pool(2, 2);
+    b.conv("conv2", 16, 5, 1, 0);
+    b.pool(2, 2);
+    b.fc("fc3", 120);
+    b.fc("fc4", 84);
+    b.fc("fc5", 10);
+    return b.take();
+}
+
+std::vector<ModelSpec>
+benchmarkModels()
+{
+    return {resNet50(), vgg16(), mobileNetV1(), alexNet()};
+}
+
+} // namespace s2ta

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Layer-shape tables for the CNNs the paper evaluates (Sec. 8):
+ * AlexNet, VGG-16, MobileNetV1, ResNet-50V1 (ImageNet shapes) and
+ * LeNet-5 (MNIST shapes). Fully-connected layers are expressed as
+ * 1x1 convolutions over a 1x1 spatial extent, and depthwise layers
+ * as grouped convolutions, which is exactly how the accelerator
+ * consumes them.
+ */
+
+#ifndef S2TA_NN_MODEL_ZOO_HH
+#define S2TA_NN_MODEL_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "tensor/conv.hh"
+
+namespace s2ta {
+
+/** Functional role of a layer (affects sparsity profiles). */
+enum class LayerKind
+{
+    Conv,           ///< standard convolution
+    Depthwise,      ///< depthwise convolution (groups == channels)
+    Pointwise,      ///< 1x1 convolution
+    FullyConnected, ///< FC expressed as 1x1 conv on 1x1 input
+};
+
+const char *layerKindName(LayerKind kind);
+
+/** One layer of a model. */
+struct ModelLayer
+{
+    std::string name;
+    LayerKind kind = LayerKind::Conv;
+    Conv2dShape shape;
+};
+
+/** A whole model: ordered GEMM-bearing layers. */
+struct ModelSpec
+{
+    std::string name;
+    std::vector<ModelLayer> layers;
+
+    /** Dense MACs summed over all layers. */
+    int64_t totalMacs() const;
+
+    /** Dense MACs over convolution layers only (paper's "Conv
+     *  only" rows exclude FC). */
+    int64_t convMacs() const;
+
+    /** Total weight elements. */
+    int64_t totalWeights() const;
+};
+
+/** AlexNet (single-tower, 227x227 input). */
+ModelSpec alexNet();
+
+/** VGG-16 (224x224 input). */
+ModelSpec vgg16();
+
+/** MobileNetV1 1.0-224. */
+ModelSpec mobileNetV1();
+
+/** ResNet-50 v1 (224x224 input), all 53 convolutions plus FC. */
+ModelSpec resNet50();
+
+/** LeNet-5 (28x28 input). */
+ModelSpec leNet5();
+
+/** The four full-model benchmark networks of Sec. 8.3. */
+std::vector<ModelSpec> benchmarkModels();
+
+} // namespace s2ta
+
+#endif // S2TA_NN_MODEL_ZOO_HH

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Minimal float32 training substrate for the accuracy experiments
+ * (paper Sec. 8.1 / Table 3).
+ *
+ * Supports exactly what DBB fine-tuning needs: small CNN/MLP
+ * forward/backward, SGD with momentum, a DAP layer with the paper's
+ * straight-through gradient (the binary Top-NNZ mask), and W-DBB
+ * projection of weights along the input-channel blocking dimension.
+ *
+ * Single-sample forward/backward with gradient accumulation over a
+ * mini-batch; tensors are (H, W, C) or flat (F).
+ */
+
+#ifndef S2TA_NN_NET_HH
+#define S2TA_NN_NET_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "core/dbb.hh"
+#include "tensor/tensor.hh"
+
+namespace s2ta {
+
+/** Base class for trainable layers. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Forward pass; @p train enables training-only behaviour. */
+    virtual FloatTensor forward(const FloatTensor &x, bool train) = 0;
+
+    /** Backward pass; consumes dL/dout, returns dL/din. */
+    virtual FloatTensor backward(const FloatTensor &grad_out) = 0;
+
+    /** Apply accumulated gradients (SGD + momentum), then clear. */
+    virtual void step(float lr, float momentum, int batch) {
+        (void)lr; (void)momentum; (void)batch;
+    }
+
+    /** Trainable weight tensor, or nullptr. */
+    virtual FloatTensor *weights() { return nullptr; }
+
+    /** All trainable parameter tensors (weights and biases). */
+    virtual std::vector<FloatTensor *> parameters() { return {}; }
+
+    /**
+     * Dimension of weights() along which DBB blocks run (the
+     * input-channel dimension); -1 when not applicable.
+     */
+    virtual int dbbDim() const { return -1; }
+
+    virtual std::string describe() const = 0;
+};
+
+/** 2-D convolution, stride 1, zero padding, NHWC / (kh,kw,cin,cout). */
+class ConvLayer : public Layer
+{
+  public:
+    ConvLayer(int in_c, int out_c, int kernel, int pad, Rng &rng);
+
+    FloatTensor forward(const FloatTensor &x, bool train) override;
+    FloatTensor backward(const FloatTensor &grad_out) override;
+    void step(float lr, float momentum, int batch) override;
+    FloatTensor *weights() override { return &w; }
+    std::vector<FloatTensor *> parameters() override
+    {
+        return {&w, &bias};
+    }
+    int dbbDim() const override { return 2; }
+    std::string describe() const override;
+
+  private:
+    int in_c, out_c, kernel, pad;
+    FloatTensor w;      ///< (k, k, in_c, out_c)
+    FloatTensor bias;   ///< (out_c)
+    FloatTensor gw, gbias, vw, vbias;
+    FloatTensor last_in;
+};
+
+/** Fully connected layer on flat (F) tensors; weights (in, out). */
+class DenseLayer : public Layer
+{
+  public:
+    DenseLayer(int in_f, int out_f, Rng &rng);
+
+    FloatTensor forward(const FloatTensor &x, bool train) override;
+    FloatTensor backward(const FloatTensor &grad_out) override;
+    void step(float lr, float momentum, int batch) override;
+    FloatTensor *weights() override { return &w; }
+    std::vector<FloatTensor *> parameters() override
+    {
+        return {&w, &bias};
+    }
+    int dbbDim() const override { return 0; }
+    std::string describe() const override;
+
+  private:
+    int in_f, out_f;
+    FloatTensor w, bias, gw, gbias, vw, vbias;
+    FloatTensor last_in;
+};
+
+/** Element-wise ReLU. */
+class ReluLayer : public Layer
+{
+  public:
+    FloatTensor forward(const FloatTensor &x, bool train) override;
+    FloatTensor backward(const FloatTensor &grad_out) override;
+    std::string describe() const override { return "relu"; }
+
+  private:
+    FloatTensor last_in;
+};
+
+/** 2x2 max pooling, stride 2, on (H, W, C). */
+class MaxPoolLayer : public Layer
+{
+  public:
+    FloatTensor forward(const FloatTensor &x, bool train) override;
+    FloatTensor backward(const FloatTensor &grad_out) override;
+    std::string describe() const override { return "maxpool2"; }
+
+  private:
+    FloatTensor last_in;
+    std::vector<int64_t> argmax;
+    std::vector<int> out_shape;
+};
+
+/** Flatten (H, W, C) to (F). */
+class FlattenLayer : public Layer
+{
+  public:
+    FloatTensor forward(const FloatTensor &x, bool train) override;
+    FloatTensor backward(const FloatTensor &grad_out) override;
+    std::string describe() const override { return "flatten"; }
+
+  private:
+    std::vector<int> in_shape;
+};
+
+/**
+ * Dynamic Activation Pruning layer (paper Sec. 5.1 / 8.1): Top-NNZ
+ * magnitude pruning of 1x1xBZ channel blocks in the forward pass;
+ * the backward pass multiplies by the binary keep mask
+ * (straight-through dDAP(a)/da).
+ *
+ * Disabled (identity) until enable() is called, so a baseline can
+ * be trained first and DAP switched on for fine-tuning.
+ */
+class DapLayer : public Layer
+{
+  public:
+    explicit DapLayer(int nnz = 8, int bz = 8);
+
+    void enable(int nnz_) { nnz = nnz_; }
+    void disable() { nnz = bz; }
+    int currentNnz() const { return nnz; }
+
+    FloatTensor forward(const FloatTensor &x, bool train) override;
+    FloatTensor backward(const FloatTensor &grad_out) override;
+    std::string describe() const override;
+
+  private:
+    int nnz, bz;
+    FloatTensor last_mask;
+};
+
+/** A sequential network. */
+class Network
+{
+  public:
+    Network() = default;
+
+    /** Append a layer; returns a borrowed pointer for later access. */
+    template <typename L, typename... Args>
+    L *
+    add(Args &&...args)
+    {
+        auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+        L *raw = layer.get();
+        layers.push_back(std::move(layer));
+        return raw;
+    }
+
+    /** Forward through all layers; returns the logits. */
+    FloatTensor forward(const FloatTensor &x, bool train = false);
+
+    /** Backward from dL/dlogits. */
+    void backward(const FloatTensor &grad_logits);
+
+    /** SGD step over all layers. */
+    void step(float lr, float momentum, int batch);
+
+    /**
+     * Project every weight tensor onto the W-DBB constraint along
+     * its layer's blocking dimension (magnitude Top-NNZ per block).
+     */
+    void applyWeightDbb(const DbbSpec &spec);
+
+    /** Snapshot all trainable parameters (weights and biases). */
+    std::vector<FloatTensor> snapshotParameters();
+
+    /** Restore parameters captured by snapshotParameters(). */
+    void restoreParameters(const std::vector<FloatTensor> &snap);
+
+    /** Enable every DAP layer at the given density. */
+    void enableDap(int nnz);
+    /** Disable (bypass) every DAP layer. */
+    void disableDap();
+
+    /**
+     * Quantize all weights to the symmetric INT8 grid in place
+     * (fake quantization: values become scale * round(w / scale)).
+     * Used to evaluate INT8 deployment accuracy.
+     */
+    void fakeQuantizeWeightsInt8();
+
+    const std::vector<std::unique_ptr<Layer>> &all() const {
+        return layers;
+    }
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers;
+};
+
+/** Softmax + cross-entropy; returns loss, writes dL/dlogits. */
+float softmaxCrossEntropy(const FloatTensor &logits, int label,
+                          FloatTensor &grad_out);
+
+} // namespace s2ta
+
+#endif // S2TA_NN_NET_HH

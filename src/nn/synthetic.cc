@@ -1,0 +1,109 @@
+#include "nn/synthetic.hh"
+
+#include <cmath>
+
+namespace s2ta {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+} // anonymous namespace
+
+Dataset
+makeSyntheticVision(int count, const SyntheticVisionConfig &cfg,
+                    Rng &rng)
+{
+    s2ta_assert(count > 0 && cfg.num_classes >= 2,
+                "bad vision dataset config");
+    Dataset ds;
+    ds.num_classes = cfg.num_classes;
+    ds.samples.reserve(static_cast<size_t>(count));
+
+    for (int s = 0; s < count; ++s) {
+        const int label =
+            static_cast<int>(rng.uniformInt(0, cfg.num_classes - 1));
+        // Class signature: grating orientation + frequency, plus a
+        // class-positioned blob; both jittered per sample.
+        const double theta =
+            kPi * label / static_cast<double>(cfg.num_classes);
+        const double freq = 1.5 + 0.5 * (label % 3);
+        const double phase = rng.uniformReal(0.0, 2.0 * kPi);
+        const int jx = static_cast<int>(
+            rng.uniformInt(-cfg.jitter, cfg.jitter));
+        const int jy = static_cast<int>(
+            rng.uniformInt(-cfg.jitter, cfg.jitter));
+        const double bx =
+            (0.2 + 0.6 * ((label * 3) % cfg.num_classes) /
+                       static_cast<double>(cfg.num_classes)) *
+                cfg.width + jx;
+        const double by =
+            (0.2 + 0.6 * ((label * 5) % cfg.num_classes) /
+                       static_cast<double>(cfg.num_classes)) *
+                cfg.height + jy;
+
+        FloatTensor img({cfg.height, cfg.width, cfg.channels});
+        for (int y = 0; y < cfg.height; ++y) {
+            for (int x = 0; x < cfg.width; ++x) {
+                const double u =
+                    (x + jx) * std::cos(theta) +
+                    (y + jy) * std::sin(theta);
+                const double grating = std::sin(
+                    2.0 * kPi * freq * u / cfg.width + phase);
+                const double d2 =
+                    (x - bx) * (x - bx) + (y - by) * (y - by);
+                const double blob = std::exp(-d2 / 6.0);
+                for (int c = 0; c < cfg.channels; ++c) {
+                    // Channels see phase-shifted copies so channel
+                    // blocks carry correlated structure (relevant
+                    // for DAP along the channel dimension).
+                    const double chan_phase = 0.7 * c;
+                    const double v =
+                        grating * std::cos(chan_phase) +
+                        blob * std::sin(chan_phase + 0.4) +
+                        rng.normal(0.0, cfg.noise);
+                    img(y, x, c) = static_cast<float>(v);
+                }
+            }
+        }
+        ds.samples.push_back({std::move(img), label});
+    }
+    return ds;
+}
+
+Dataset
+makeSyntheticFeatures(int count, const SyntheticFeatureConfig &cfg,
+                      Rng &rng)
+{
+    s2ta_assert(count > 0 && cfg.num_classes >= 2,
+                "bad feature dataset config");
+    Dataset ds;
+    ds.num_classes = cfg.num_classes;
+    ds.samples.reserve(static_cast<size_t>(count));
+
+    // Deterministic class centroids from a fixed-seed stream so the
+    // task is identical across runs regardless of @p rng state.
+    Rng centroid_rng(0xCE27401Dull);
+    std::vector<FloatTensor> centroids;
+    centroids.reserve(static_cast<size_t>(cfg.num_classes));
+    for (int k = 0; k < cfg.num_classes; ++k) {
+        FloatTensor c({cfg.dim});
+        for (int i = 0; i < cfg.dim; ++i)
+            c(i) = centroid_rng.bernoulli(0.5) ? 1.0f : -1.0f;
+        centroids.push_back(std::move(c));
+    }
+
+    for (int s = 0; s < count; ++s) {
+        const int label =
+            static_cast<int>(rng.uniformInt(0, cfg.num_classes - 1));
+        FloatTensor v({cfg.dim});
+        for (int i = 0; i < cfg.dim; ++i) {
+            v(i) = centroids[static_cast<size_t>(label)](i) +
+                   static_cast<float>(rng.normal(0.0, cfg.noise));
+        }
+        ds.samples.push_back({std::move(v), label});
+    }
+    return ds;
+}
+
+} // namespace s2ta

@@ -1,0 +1,120 @@
+#include "nn/trainer.hh"
+
+#include <numeric>
+
+#include "core/weight_pruner.hh"
+
+namespace s2ta {
+
+TrainResult
+train(Network &net, const Dataset &data, const TrainConfig &cfg)
+{
+    s2ta_assert(data.size() > 0, "empty dataset");
+    s2ta_assert(cfg.batch >= 1, "batch=%d", cfg.batch);
+
+    Rng rng(cfg.shuffle_seed);
+    std::vector<int> order(static_cast<size_t>(data.size()));
+    std::iota(order.begin(), order.end(), 0);
+
+    TrainResult res;
+    FloatTensor grad;
+    float lr = cfg.lr;
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        rng.shuffle(order);
+        const DbbSpec epoch_spec =
+            cfg.use_weight_dbb
+                ? progressiveSpec(epoch, cfg.weight_dbb_ramp,
+                                  cfg.weight_dbb)
+                : DbbSpec{8, 8};
+
+        double epoch_loss = 0.0;
+        int in_batch = 0;
+        for (int idx : order) {
+            const Sample &s =
+                data.samples[static_cast<size_t>(idx)];
+            FloatTensor logits = net.forward(s.input, true);
+            epoch_loss += softmaxCrossEntropy(logits, s.label, grad);
+            net.backward(grad);
+            if (++in_batch == cfg.batch) {
+                net.step(lr, cfg.momentum, in_batch);
+                if (cfg.use_weight_dbb)
+                    net.applyWeightDbb(epoch_spec);
+                in_batch = 0;
+            }
+        }
+        if (in_batch > 0) {
+            net.step(lr, cfg.momentum, in_batch);
+            if (cfg.use_weight_dbb)
+                net.applyWeightDbb(epoch_spec);
+        }
+        res.final_loss =
+            static_cast<float>(epoch_loss / data.size());
+        res.epochs_run = epoch + 1;
+        lr *= cfg.lr_decay;
+        if (cfg.log_every > 0 && (epoch + 1) % cfg.log_every == 0) {
+            s2ta_inform("epoch %d/%d: mean loss %.4f", epoch + 1,
+                        cfg.epochs,
+                        static_cast<double>(res.final_loss));
+        }
+    }
+    // Guarantee the final constraint regardless of ramp state.
+    if (cfg.use_weight_dbb)
+        net.applyWeightDbb(cfg.weight_dbb);
+    return res;
+}
+
+double
+evaluate(Network &net, const Dataset &data)
+{
+    s2ta_assert(data.size() > 0, "empty dataset");
+    int correct = 0;
+    for (const Sample &s : data.samples) {
+        FloatTensor logits = net.forward(s.input, false);
+        int best = 0;
+        for (int i = 1; i < logits.dim(0); ++i)
+            if (logits(i) > logits(best))
+                best = i;
+        correct += (best == s.label);
+    }
+    return static_cast<double>(correct) / data.size();
+}
+
+Network
+makeTestbedCnn(int in_channels, int num_classes, Rng &rng)
+{
+    // conv-relu-[dap]-pool twice, then a small classifier head; the
+    // DAP layers sit in front of the convolutions they feed, as in
+    // the paper's fine-tuning setup ("adding DAP in front of
+    // convolution operations").
+    Network net;
+    net.add<ConvLayer>(in_channels, 8, 3, 1, rng);
+    net.add<ReluLayer>();
+    net.add<MaxPoolLayer>();
+    net.add<DapLayer>(); // disabled until enableDap()
+    net.add<ConvLayer>(8, 16, 3, 1, rng);
+    net.add<ReluLayer>();
+    net.add<MaxPoolLayer>();
+    net.add<DapLayer>();
+    net.add<FlattenLayer>();
+    net.add<DenseLayer>(3 * 3 * 16, 48, rng);
+    net.add<ReluLayer>();
+    net.add<DenseLayer>(48, num_classes, rng);
+    return net;
+}
+
+Network
+makeTestbedMlp(int in_dim, int num_classes, Rng &rng)
+{
+    // FC1 -> FC2 mirrors the encoder FC sub-layers the paper prunes
+    // in I-BERT (Table 3 footnote 4).
+    Network net;
+    net.add<DenseLayer>(in_dim, 96, rng);
+    net.add<ReluLayer>();
+    net.add<DapLayer>();
+    net.add<DenseLayer>(96, 48, rng);
+    net.add<ReluLayer>();
+    net.add<DenseLayer>(48, num_classes, rng);
+    return net;
+}
+
+} // namespace s2ta

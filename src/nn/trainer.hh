@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Training / fine-tuning loop with DBB-aware extensions (paper
+ * Sec. 8.1): progressive W-DBB magnitude projection during training
+ * and DAP layers active in the forward pass with straight-through
+ * gradients.
+ */
+
+#ifndef S2TA_NN_TRAINER_HH
+#define S2TA_NN_TRAINER_HH
+
+#include "core/dbb.hh"
+#include "nn/net.hh"
+#include "nn/synthetic.hh"
+
+namespace s2ta {
+
+/** Training-loop configuration. */
+struct TrainConfig
+{
+    int epochs = 8;
+    int batch = 16;
+    float lr = 0.05f;
+    /** Per-epoch multiplicative learning-rate decay. */
+    float lr_decay = 1.0f;
+    float momentum = 0.9f;
+    /** Enable progressive W-DBB projection towards this spec. */
+    bool use_weight_dbb = false;
+    DbbSpec weight_dbb{4, 8};
+    /** Epochs over which the W-DBB budget ramps down. */
+    int weight_dbb_ramp = 3;
+    /** Print a progress line every N epochs (0 = silent). */
+    int log_every = 0;
+    uint64_t shuffle_seed = 0x5EED;
+};
+
+/** Outcome of a training run. */
+struct TrainResult
+{
+    float final_loss = 0.0f;
+    int epochs_run = 0;
+};
+
+/**
+ * Train (or fine-tune) @p net on @p data. If W-DBB is enabled, the
+ * weights are projected onto the (progressively tightening) density
+ * bound after every optimizer step, so the returned network
+ * satisfies the target spec exactly.
+ */
+TrainResult train(Network &net, const Dataset &data,
+                  const TrainConfig &cfg);
+
+/** Top-1 accuracy of @p net on @p data, in [0, 1]. */
+double evaluate(Network &net, const Dataset &data);
+
+/** The small CNN used as the Table-3 vision testbed. */
+Network makeTestbedCnn(int in_channels, int num_classes, Rng &rng);
+
+/** The small MLP used as the Table-3 I-BERT (FC sub-layer) analog. */
+Network makeTestbedMlp(int in_dim, int num_classes, Rng &rng);
+
+} // namespace s2ta
+
+#endif // S2TA_NN_TRAINER_HH

@@ -1,0 +1,140 @@
+#include "tensor/conv.hh"
+
+namespace s2ta {
+
+namespace {
+
+/** Round @p v up to the next multiple of @p align. */
+int
+alignUp(int v, int align)
+{
+    return (v + align - 1) / align * align;
+}
+
+} // anonymous namespace
+
+Int32Tensor
+convReference(const Conv2dShape &shape, const Int8Tensor &input,
+              const Int8Tensor &weights)
+{
+    s2ta_assert(shape.valid(), "invalid conv shape");
+    s2ta_assert(input.shape() ==
+                std::vector<int>({shape.in_h, shape.in_w, shape.in_c}),
+                "input shape mismatch");
+    s2ta_assert(weights.shape() ==
+                std::vector<int>({shape.kernel_h, shape.kernel_w,
+                                  shape.groupInC(), shape.out_c}),
+                "weight shape mismatch");
+
+    const int oh = shape.outH(), ow = shape.outW();
+    Int32Tensor out({oh, ow, shape.out_c}, 0);
+
+    for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+            for (int oc = 0; oc < shape.out_c; ++oc) {
+                const int g = oc / shape.groupOutC();
+                const int c_base = g * shape.groupInC();
+                int32_t acc = 0;
+                for (int ky = 0; ky < shape.kernel_h; ++ky) {
+                    const int iy = oy * shape.stride + ky - shape.pad;
+                    if (iy < 0 || iy >= shape.in_h)
+                        continue;
+                    for (int kx = 0; kx < shape.kernel_w; ++kx) {
+                        const int ix =
+                            ox * shape.stride + kx - shape.pad;
+                        if (ix < 0 || ix >= shape.in_w)
+                            continue;
+                        for (int c = 0; c < shape.groupInC(); ++c) {
+                            acc += static_cast<int32_t>(
+                                       input(iy, ix, c_base + c)) *
+                                   weights(ky, kx, c, oc);
+                        }
+                    }
+                }
+                out(oy, ox, oc) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+GemmProblem
+im2colLower(const Conv2dShape &shape, const Int8Tensor &input,
+            const Int8Tensor &weights, int group, int channel_align)
+{
+    s2ta_assert(shape.valid(), "invalid conv shape");
+    s2ta_assert(group >= 0 && group < shape.groups,
+                "group %d of %d", group, shape.groups);
+    s2ta_assert(channel_align > 0, "channel_align=%d", channel_align);
+
+    const int oh = shape.outH(), ow = shape.outW();
+    const int gc = shape.groupInC();
+    const int seg = alignUp(gc, channel_align);
+    const int k = shape.kernel_h * shape.kernel_w * seg;
+    const int c_base = group * gc;
+    const int oc_base = group * shape.groupOutC();
+
+    GemmProblem p(oh * ow, k, shape.groupOutC());
+
+    // Activation matrix: one row per output pixel.
+    for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+            const int row = oy * ow + ox;
+            for (int ky = 0; ky < shape.kernel_h; ++ky) {
+                const int iy = oy * shape.stride + ky - shape.pad;
+                for (int kx = 0; kx < shape.kernel_w; ++kx) {
+                    const int ix = ox * shape.stride + kx - shape.pad;
+                    const int kbase =
+                        (ky * shape.kernel_w + kx) * seg;
+                    if (iy < 0 || iy >= shape.in_h || ix < 0 ||
+                        ix >= shape.in_w) {
+                        continue; // zero padding already in place
+                    }
+                    for (int c = 0; c < gc; ++c) {
+                        p.actAt(row, kbase + c) =
+                            input(iy, ix, c_base + c);
+                    }
+                }
+            }
+        }
+    }
+
+    // Weight matrix: one column per output channel of this group.
+    for (int ky = 0; ky < shape.kernel_h; ++ky) {
+        for (int kx = 0; kx < shape.kernel_w; ++kx) {
+            const int kbase = (ky * shape.kernel_w + kx) * seg;
+            for (int c = 0; c < gc; ++c) {
+                for (int j = 0; j < shape.groupOutC(); ++j) {
+                    p.wgtAt(kbase + c, j) =
+                        weights(ky, kx, c, oc_base + j);
+                }
+            }
+        }
+    }
+    return p;
+}
+
+void
+scatterGemmResult(const Conv2dShape &shape, int group,
+                  const std::vector<int32_t> &gemm_out,
+                  Int32Tensor &output)
+{
+    const int oh = shape.outH(), ow = shape.outW();
+    const int gn = shape.groupOutC();
+    const int oc_base = group * gn;
+    s2ta_assert(gemm_out.size() ==
+                static_cast<size_t>(oh) * ow * gn,
+                "gemm result size mismatch");
+    s2ta_assert(output.shape() ==
+                std::vector<int>({oh, ow, shape.out_c}),
+                "output shape mismatch");
+
+    for (int oy = 0; oy < oh; ++oy)
+        for (int ox = 0; ox < ow; ++ox)
+            for (int j = 0; j < gn; ++j)
+                output(oy, ox, oc_base + j) =
+                    gemm_out[(static_cast<size_t>(oy) * ow + ox) * gn
+                             + j];
+}
+
+} // namespace s2ta

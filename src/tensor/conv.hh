@@ -1,0 +1,122 @@
+/**
+ * @file
+ * 2-D convolution shapes, the direct reference kernel, and the
+ * im2col lowering used to map convolutions onto the GEMM-based
+ * accelerator models.
+ *
+ * Layout conventions:
+ *  - activations: NHWC with batch fixed at 1, i.e. (H, W, C);
+ *  - weights: (KH, KW, C/groups, OC).
+ * The channel dimension is innermost so that 1x1xBZ DBB blocks
+ * (paper Fig. 5) are contiguous.
+ */
+
+#ifndef S2TA_TENSOR_CONV_HH
+#define S2TA_TENSOR_CONV_HH
+
+#include <cstdint>
+
+#include "tensor/gemm.hh"
+#include "tensor/tensor.hh"
+
+namespace s2ta {
+
+/** Geometry of a 2-D convolution (batch 1). */
+struct Conv2dShape
+{
+    int in_c = 0;
+    int in_h = 0;
+    int in_w = 0;
+    int out_c = 0;
+    int kernel_h = 1;
+    int kernel_w = 1;
+    int stride = 1;
+    int pad = 0;
+    /** groups == in_c (and out_c == in_c) makes this depthwise. */
+    int groups = 1;
+
+    int
+    outH() const
+    {
+        return (in_h + 2 * pad - kernel_h) / stride + 1;
+    }
+
+    int
+    outW() const
+    {
+        return (in_w + 2 * pad - kernel_w) / stride + 1;
+    }
+
+    /** Input channels seen by one group. */
+    int groupInC() const { return in_c / groups; }
+
+    /** Output channels produced by one group. */
+    int groupOutC() const { return out_c / groups; }
+
+    /** Dense multiply-accumulate count of the whole convolution. */
+    int64_t
+    denseMacs() const
+    {
+        return static_cast<int64_t>(outH()) * outW() * out_c *
+               kernel_h * kernel_w * groupInC();
+    }
+
+    bool
+    valid() const
+    {
+        return in_c > 0 && in_h > 0 && in_w > 0 && out_c > 0 &&
+               kernel_h > 0 && kernel_w > 0 && stride > 0 &&
+               pad >= 0 && groups > 0 && in_c % groups == 0 &&
+               out_c % groups == 0 && outH() > 0 && outW() > 0;
+    }
+};
+
+/**
+ * Direct (nested-loop) INT8 convolution reference.
+ *
+ * @param shape convolution geometry (must be valid()).
+ * @param input (in_h, in_w, in_c) INT8 tensor.
+ * @param weights (kernel_h, kernel_w, groupInC, out_c) INT8 tensor.
+ * @return (outH, outW, out_c) INT32 tensor.
+ */
+Int32Tensor convReference(const Conv2dShape &shape,
+                          const Int8Tensor &input,
+                          const Int8Tensor &weights);
+
+/**
+ * Lower one group of a convolution to a GEMM via im2col.
+ *
+ * The reduction dimension is laid out as (ky, kx, c) with the channel
+ * index fastest, and each (ky, kx) channel segment is padded up to a
+ * multiple of @p channel_align so DBB blocks never straddle kernel
+ * positions. Out-of-image taps contribute zeros (zero padding).
+ *
+ * @param shape convolution geometry.
+ * @param input (in_h, in_w, in_c) INT8 activations.
+ * @param weights (kernel_h, kernel_w, groupInC, out_c) INT8 weights.
+ * @param group group index in [0, groups).
+ * @param channel_align pad each channel segment to this multiple.
+ * @return GEMM with m = outH*outW, n = groupOutC,
+ *         k = kernel_h*kernel_w*align(groupInC).
+ */
+GemmProblem im2colLower(const Conv2dShape &shape,
+                        const Int8Tensor &input,
+                        const Int8Tensor &weights,
+                        int group = 0,
+                        int channel_align = 8);
+
+/**
+ * Scatter a GEMM result for one group back into the output tensor.
+ *
+ * @param shape convolution geometry.
+ * @param group group index the GEMM result belongs to.
+ * @param gemm_out row-major (outH*outW) x groupOutC INT32 values.
+ * @param output (outH, outW, out_c) tensor updated in place.
+ */
+void scatterGemmResult(const Conv2dShape &shape, int group,
+                       const std::vector<int32_t> &gemm_out,
+                       Int32Tensor &output);
+
+} // namespace s2ta
+
+#endif // S2TA_TENSOR_CONV_HH

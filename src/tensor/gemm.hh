@@ -1,0 +1,108 @@
+/**
+ * @file
+ * GEMM problem container and the golden INT8 reference kernel.
+ *
+ * Every accelerator model in src/arch consumes a GemmProblem and must
+ * produce a result bit-identical to gemmReference() over the same
+ * (possibly DBB-pruned) operands. CNN layers are lowered to GEMM via
+ * im2col (tensor/conv.hh), with the K dimension laid out so that DBB
+ * channel blocks are contiguous.
+ */
+
+#ifndef S2TA_TENSOR_GEMM_HH
+#define S2TA_TENSOR_GEMM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace s2ta {
+
+/**
+ * INT8 GEMM operands: C[i][j] = sum_k a[i*k + kk] * w[kk*n + j].
+ *
+ * 'a' holds activations (M x K row-major, one output pixel per row)
+ * and 'w' holds weights (K x N row-major, one output channel per
+ * column). K is padded by the producer to a multiple of the DBB block
+ * size so block boundaries never straddle im2col segments.
+ */
+struct GemmProblem
+{
+    int m = 0;
+    int k = 0;
+    int n = 0;
+    std::vector<int8_t> a;
+    std::vector<int8_t> w;
+
+    GemmProblem() = default;
+
+    GemmProblem(int m_, int k_, int n_)
+        : m(m_), k(k_), n(n_),
+          a(static_cast<size_t>(m_) * k_, 0),
+          w(static_cast<size_t>(k_) * n_, 0)
+    {
+        s2ta_assert(m_ > 0 && k_ > 0 && n_ > 0,
+                    "bad GEMM dims %dx%dx%d", m_, k_, n_);
+    }
+
+    /** Activation element (row i, reduction position kk). */
+    int8_t &actAt(int i, int kk) { return a[idxA(i, kk)]; }
+    int8_t actAt(int i, int kk) const { return a[idxA(i, kk)]; }
+
+    /** Weight element (reduction position kk, column j). */
+    int8_t &wgtAt(int kk, int j) { return w[idxW(kk, j)]; }
+    int8_t wgtAt(int kk, int j) const { return w[idxW(kk, j)]; }
+
+    /** Dense multiply-accumulate count m*k*n. */
+    int64_t
+    denseMacs() const
+    {
+        return static_cast<int64_t>(m) * k * n;
+    }
+
+    /** Fraction of zero elements in the activation operand. */
+    double actSparsity() const { return sparsityOf(a); }
+
+    /** Fraction of zero elements in the weight operand. */
+    double wgtSparsity() const { return sparsityOf(w); }
+
+  private:
+    size_t
+    idxA(int i, int kk) const
+    {
+        s2ta_assert(i >= 0 && i < m && kk >= 0 && kk < k,
+                    "A index (%d, %d)", i, kk);
+        return static_cast<size_t>(i) * k + kk;
+    }
+
+    size_t
+    idxW(int kk, int j) const
+    {
+        s2ta_assert(kk >= 0 && kk < k && j >= 0 && j < n,
+                    "W index (%d, %d)", kk, j);
+        return static_cast<size_t>(kk) * n + j;
+    }
+
+    static double
+    sparsityOf(const std::vector<int8_t> &v)
+    {
+        if (v.empty())
+            return 0.0;
+        int64_t zeros = 0;
+        for (int8_t x : v)
+            zeros += (x == 0);
+        return static_cast<double>(zeros) /
+               static_cast<double>(v.size());
+    }
+};
+
+/**
+ * Golden dense INT8 GEMM with INT32 accumulation.
+ * @return row-major M x N INT32 result.
+ */
+std::vector<int32_t> gemmReference(const GemmProblem &p);
+
+} // namespace s2ta
+
+#endif // S2TA_TENSOR_GEMM_HH

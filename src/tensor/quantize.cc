@@ -1,0 +1,47 @@
+#include "tensor/quantize.hh"
+
+#include <cmath>
+
+namespace s2ta {
+
+float
+computeScale(const FloatTensor &t)
+{
+    float max_abs = 0.0f;
+    for (int64_t i = 0; i < t.size(); ++i)
+        max_abs = std::max(max_abs, std::fabs(t.flat(i)));
+    return max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+}
+
+QuantizedTensor
+quantize(const FloatTensor &t)
+{
+    return quantizeWithScale(t, computeScale(t));
+}
+
+QuantizedTensor
+quantizeWithScale(const FloatTensor &t, float scale)
+{
+    s2ta_assert(scale > 0.0f, "scale must be positive, got %g",
+                static_cast<double>(scale));
+    QuantizedTensor q;
+    q.scale = scale;
+    q.values = Int8Tensor(t.shape());
+    for (int64_t i = 0; i < t.size(); ++i) {
+        float v = std::nearbyint(t.flat(i) / scale);
+        v = std::min(127.0f, std::max(-127.0f, v));
+        q.values.flat(i) = static_cast<int8_t>(v);
+    }
+    return q;
+}
+
+FloatTensor
+dequantize(const QuantizedTensor &q)
+{
+    FloatTensor t(q.values.shape());
+    for (int64_t i = 0; i < t.size(); ++i)
+        t.flat(i) = q.scale * static_cast<float>(q.values.flat(i));
+    return t;
+}
+
+} // namespace s2ta

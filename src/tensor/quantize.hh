@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Symmetric per-tensor INT8 quantization.
+ *
+ * The paper targets INT8 mobile inference (Sec. 1); the NN substrate
+ * trains in float32 and quantizes weights/activations symmetrically to
+ * [-127, 127] for the accelerator models.
+ */
+
+#ifndef S2TA_TENSOR_QUANTIZE_HH
+#define S2TA_TENSOR_QUANTIZE_HH
+
+#include "tensor/tensor.hh"
+
+namespace s2ta {
+
+/** A quantized tensor together with its dequantization scale. */
+struct QuantizedTensor
+{
+    Int8Tensor values;
+    /** real_value = scale * int_value. */
+    float scale = 1.0f;
+};
+
+/**
+ * Compute the symmetric per-tensor scale max|x| / 127.
+ * Returns 1.0 for an all-zero tensor.
+ */
+float computeScale(const FloatTensor &t);
+
+/** Quantize to INT8 with the symmetric per-tensor scale. */
+QuantizedTensor quantize(const FloatTensor &t);
+
+/** Quantize with a caller-provided scale (e.g. a calibrated one). */
+QuantizedTensor quantizeWithScale(const FloatTensor &t, float scale);
+
+/** Dequantize back to float32. */
+FloatTensor dequantize(const QuantizedTensor &q);
+
+} // namespace s2ta
+
+#endif // S2TA_TENSOR_QUANTIZE_HH

@@ -1,0 +1,202 @@
+#include "workload/model_workloads.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/sparse_gen.hh"
+
+namespace s2ta {
+
+namespace {
+
+/** Linear interpolation over layer depth, rounded to an int. */
+int
+interpDepth(double frac, int from, int to)
+{
+    return static_cast<int>(
+        std::lround(from + (to - from) * frac));
+}
+
+/** Clamp an A-DBB density to what the DAP hardware supports
+ *  (1..5 stages, or the 8/8 dense bypass; Sec. 6.2). */
+int
+clampActNnz(int nnz)
+{
+    if (nnz >= 6)
+        return 8;
+    return std::max(1, nnz);
+}
+
+} // anonymous namespace
+
+std::vector<LayerSparsity>
+sparsityProfile(const ModelSpec &spec)
+{
+    const int n = static_cast<int>(spec.layers.size());
+    s2ta_assert(n > 0, "empty model");
+    std::vector<LayerSparsity> prof(static_cast<size_t>(n));
+
+    auto depth = [n](int i) {
+        return n > 1 ? static_cast<double>(i) / (n - 1) : 0.0;
+    };
+
+    if (spec.name == "AlexNet") {
+        // Table 3: W-DBB 4/8, A-DBB average 3.9/8; conv3-5 are the
+        // high-sparsity layers (Fig. 12).
+        for (int i = 0; i < n; ++i) {
+            prof[i].wgt_nnz = (i == 0) ? 8 : 4;
+            prof[i].act_nnz =
+                (i == 0) ? 8 : clampActNnz(interpDepth(depth(i),
+                                                       5, 3));
+        }
+    } else if (spec.name == "VGG-16") {
+        // Table 3: W-DBB 3/8, A-DBB average 3.1/8.
+        for (int i = 0; i < n; ++i) {
+            prof[i].wgt_nnz = (i == 0) ? 8 : 3;
+            prof[i].act_nnz =
+                (i == 0) ? 8 : clampActNnz(interpDepth(depth(i),
+                                                       5, 2));
+        }
+    } else if (spec.name == "MobileNetV1") {
+        // Table 3: W-DBB 4/8, A-DBB average 4.8/8 (compact model,
+        // denser activations). Depthwise weights stay dense: their
+        // single-channel blocks leave nothing to bound.
+        for (int i = 0; i < n; ++i) {
+            const LayerKind kind = spec.layers[i].kind;
+            prof[i].wgt_nnz =
+                (i == 0 || kind == LayerKind::Depthwise) ? 8 : 4;
+            if (i == 0) {
+                prof[i].act_nnz = 8;
+            } else if (kind == LayerKind::Depthwise) {
+                prof[i].act_nnz = 5;
+            } else {
+                prof[i].act_nnz =
+                    clampActNnz(interpDepth(depth(i), 5, 4));
+            }
+        }
+    } else if (spec.name == "ResNet-50V1") {
+        // Sec. 5.2: per-layer tuned density ranges from 8/8 in
+        // early layers down to 2/8 towards the end; W-DBB 3/8
+        // (Table 3 starred row).
+        for (int i = 0; i < n; ++i) {
+            prof[i].wgt_nnz = (i == 0) ? 8 : 3;
+            if (i == 0) {
+                prof[i].act_nnz = 8;
+            } else {
+                const int v = interpDepth(depth(i), 6, 2);
+                prof[i].act_nnz = clampActNnz(v);
+            }
+        }
+    } else if (spec.name == "LeNet-5") {
+        // Table 3: 4/8 A-DBB with 2/8 W-DBB.
+        for (int i = 0; i < n; ++i) {
+            prof[i].wgt_nnz = (i == 0) ? 8 : 2;
+            prof[i].act_nnz = (i == 0) ? 8 : 4;
+        }
+    } else {
+        s2ta_fatal("no sparsity profile for model '%s'",
+                   spec.name.c_str());
+    }
+    return prof;
+}
+
+double
+averageActDensity(const ModelSpec &spec,
+                  const std::vector<LayerSparsity> &profile)
+{
+    s2ta_assert(profile.size() == spec.layers.size(),
+                "profile/model mismatch");
+    double weighted = 0.0;
+    double total = 0.0;
+    for (size_t i = 0; i < profile.size(); ++i) {
+        const double macs = static_cast<double>(
+            spec.layers[i].shape.denseMacs());
+        weighted += macs * profile[i].act_nnz / 8.0;
+        total += macs;
+    }
+    return total > 0.0 ? weighted / total : 0.0;
+}
+
+ModelWorkload
+buildModelWorkload(const ModelSpec &spec, Rng &rng)
+{
+    return buildModelWorkload(spec, sparsityProfile(spec), rng);
+}
+
+ModelWorkload
+buildModelWorkload(const ModelSpec &spec,
+                   std::vector<LayerSparsity> profile, Rng &rng)
+{
+    s2ta_assert(profile.size() == spec.layers.size(),
+                "profile size %zu != layer count %zu",
+                profile.size(), spec.layers.size());
+
+    ModelWorkload mw;
+    mw.spec = spec;
+    mw.profile = std::move(profile);
+    mw.layers.reserve(spec.layers.size());
+
+    // Dense (8/8) entries still carry mild unstructured sparsity:
+    // real "dense" CNN tensors are never zero-free, and ZVCG
+    // baselines legitimately exploit that.
+    constexpr double kDenseActSparsity = 0.35;
+    constexpr double kDenseWgtSparsity = 0.20;
+
+    for (size_t i = 0; i < spec.layers.size(); ++i) {
+        const ModelLayer &ml = spec.layers[i];
+        const LayerSparsity &ls = mw.profile[i];
+
+        LayerWorkload wl;
+        wl.name = ml.name;
+        wl.shape = ml.shape;
+        wl.act_nnz = ls.act_nnz;
+        wl.wgt_nnz = ls.wgt_nnz;
+
+        // Narrow layers (RGB stems, depthwise) physically cannot
+        // exceed groupInC non-zeros per 8-block once the channel
+        // segment is padded, so tighten the declared bounds to what
+        // the data satisfies by construction.
+        if (ml.shape.groupInC() <= 4) {
+            wl.wgt_nnz = std::min(wl.wgt_nnz, 4);
+            wl.act_nnz = std::min(
+                wl.act_nnz, std::max(1, ml.shape.in_c));
+        }
+
+        const std::vector<int> in_shape = {ml.shape.in_h,
+                                           ml.shape.in_w,
+                                           ml.shape.in_c};
+        wl.input =
+            ls.act_nnz >= 8
+                ? makeUnstructuredTensor(in_shape, kDenseActSparsity,
+                                         rng)
+                : makeDbbTensor(in_shape, ls.act_nnz, rng);
+
+        const std::vector<int> w_shape = {ml.shape.kernel_h,
+                                          ml.shape.kernel_w,
+                                          ml.shape.groupInC(),
+                                          ml.shape.out_c};
+        if (ls.wgt_nnz >= 8) {
+            wl.weights = makeUnstructuredTensor(
+                w_shape, kDenseWgtSparsity, rng);
+        } else {
+            // Weight DBB blocks run along the input-channel
+            // dimension (dim 2 of the tensor); generate via a
+            // channel-innermost layout then transpose.
+            Int8Tensor tmp = makeDbbTensor(
+                {ml.shape.kernel_h, ml.shape.kernel_w,
+                 ml.shape.out_c, ml.shape.groupInC()},
+                ls.wgt_nnz, rng);
+            wl.weights = Int8Tensor(w_shape);
+            for (int ky = 0; ky < ml.shape.kernel_h; ++ky)
+                for (int kx = 0; kx < ml.shape.kernel_w; ++kx)
+                    for (int c = 0; c < ml.shape.groupInC(); ++c)
+                        for (int oc = 0; oc < ml.shape.out_c; ++oc)
+                            wl.weights(ky, kx, c, oc) =
+                                tmp(ky, kx, oc, c);
+        }
+        mw.layers.push_back(std::move(wl));
+    }
+    return mw;
+}
+
+} // namespace s2ta

@@ -1,0 +1,113 @@
+#include "workload/sparse_gen.hh"
+
+#include <cmath>
+
+namespace s2ta {
+
+namespace {
+
+/**
+ * Fill @p len entries starting at @p out (stride @p stride) with
+ * exactly @p nnz non-zeros at random positions.
+ */
+void
+fillVector(int8_t *out, int len, int64_t stride, int nnz, Rng &rng)
+{
+    for (int e = 0; e < len; ++e)
+        out[static_cast<int64_t>(e) * stride] = 0;
+    for (int pos : rng.chooseK(len, nnz))
+        out[static_cast<int64_t>(pos) * stride] = rng.nonZeroInt8();
+}
+
+int
+nnzFor(int len, double sparsity)
+{
+    s2ta_assert(sparsity >= 0.0 && sparsity <= 1.0,
+                "sparsity %g out of range", sparsity);
+    return static_cast<int>(
+        std::lround(len * (1.0 - sparsity)));
+}
+
+} // anonymous namespace
+
+GemmProblem
+makeUnstructuredGemm(int m, int k, int n, double wgt_sparsity,
+                     double act_sparsity, Rng &rng)
+{
+    GemmProblem p(m, k, n);
+    const int act_nnz = nnzFor(k, act_sparsity);
+    const int wgt_nnz = nnzFor(k, wgt_sparsity);
+    for (int i = 0; i < m; ++i)
+        fillVector(&p.a[static_cast<size_t>(i) * k], k, 1, act_nnz,
+                   rng);
+    for (int j = 0; j < n; ++j)
+        fillVector(&p.w[static_cast<size_t>(j)], k, n, wgt_nnz, rng);
+    return p;
+}
+
+GemmProblem
+makeDbbGemm(int m, int k, int n, int wgt_nnz, int act_nnz, Rng &rng,
+            int bz)
+{
+    s2ta_assert(k % bz == 0, "K=%d vs bz=%d", k, bz);
+    s2ta_assert(wgt_nnz >= 0 && wgt_nnz <= bz &&
+                act_nnz >= 0 && act_nnz <= bz,
+                "nnz out of range");
+    GemmProblem p(m, k, n);
+    for (int i = 0; i < m; ++i) {
+        for (int b = 0; b < k / bz; ++b) {
+            fillVector(&p.a[static_cast<size_t>(i) * k + b * bz], bz,
+                       1, act_nnz, rng);
+        }
+    }
+    for (int j = 0; j < n; ++j) {
+        for (int b = 0; b < k / bz; ++b) {
+            fillVector(&p.w[static_cast<size_t>(b) * bz * n + j], bz,
+                       n, wgt_nnz, rng);
+        }
+    }
+    return p;
+}
+
+Int8Tensor
+makeUnstructuredTensor(const std::vector<int> &shape, double sparsity,
+                       Rng &rng)
+{
+    Int8Tensor t(shape);
+    const int64_t total = t.size();
+    const int64_t nnz = std::llround(
+        static_cast<double>(total) * (1.0 - sparsity));
+    // Exact global count via reservoir-style selection: walk the
+    // tensor once, keeping the running draw probability exact.
+    int64_t remaining_slots = total;
+    int64_t remaining_nnz = nnz;
+    for (int64_t i = 0; i < total; ++i) {
+        const double pr =
+            static_cast<double>(remaining_nnz) /
+            static_cast<double>(remaining_slots);
+        if (remaining_nnz > 0 && rng.bernoulli(pr)) {
+            t.flat(i) = rng.nonZeroInt8();
+            --remaining_nnz;
+        }
+        --remaining_slots;
+    }
+    return t;
+}
+
+Int8Tensor
+makeDbbTensor(const std::vector<int> &shape, int nnz, Rng &rng,
+              int bz)
+{
+    Int8Tensor t(shape);
+    const int channels = t.dim(t.rank() - 1);
+    for (int64_t base = 0; base < t.size(); base += channels) {
+        for (int off = 0; off < channels; off += bz) {
+            const int len = std::min(bz, channels - off);
+            fillVector(t.data() + base + off, len, 1,
+                       std::min(nnz, len), rng);
+        }
+    }
+    return t;
+}
+
+} // namespace s2ta

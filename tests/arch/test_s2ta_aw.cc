@@ -1,0 +1,132 @@
+/** @file Unit tests for the time-unrolled S2TA-AW model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/models.hh"
+#include "core/dap.hh"
+#include "core/weight_pruner.hh"
+#include "workload/sparse_gen.hh"
+
+namespace s2ta {
+namespace {
+
+TEST(S2taAw, OutputMatchesReferenceThroughTimeUnrolledPath)
+{
+    Rng rng(1);
+    const GemmProblem p = makeDbbGemm(20, 64, 40, 4, 3, rng);
+    const auto model = makeArrayModel(ArrayConfig::s2taAw(3));
+    EXPECT_EQ(model->run(p).output, gemmReference(p));
+}
+
+/** Speedup over SA-ZVCG must equal BZ / NNZ_a (paper Fig. 9d). */
+class AwSpeedup : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AwSpeedup, EqualsBzOverNnz)
+{
+    const int nnz = GetParam();
+    Rng rng(static_cast<uint64_t>(nnz));
+    RunOptions opt;
+    opt.compute_output = false;
+    GemmProblem p = makeDbbGemm(256, 1024, 128, 4, nnz, rng);
+
+    const int64_t base = makeArrayModel(ArrayConfig::saZvcg())
+                             ->run(p, opt).events.cycles;
+    const int64_t aw = makeArrayModel(ArrayConfig::s2taAw(nnz))
+                           ->run(p, opt).events.cycles;
+    const double speedup = static_cast<double>(base) / aw;
+    EXPECT_NEAR(speedup, 8.0 / nnz, 8.0 / nnz * 0.08)
+        << "NNZ_a = " << nnz;
+}
+
+INSTANTIATE_TEST_SUITE_P(VariableDensity, AwSpeedup,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8));
+
+TEST(S2taAw, BothOperandsMoveCompressed)
+{
+    Rng rng(2);
+    RunOptions opt;
+    opt.compute_output = false;
+    GemmProblem p = makeDbbGemm(64, 512, 32, 4, 2, rng);
+    const auto r =
+        makeArrayModel(ArrayConfig::s2taAw(2))->run(p, opt);
+    // One tile (64 x 32): activations 3 bytes per block (2 values +
+    // mask), weights 5 bytes per block.
+    EXPECT_EQ(r.events.act_sram_read_bytes, 64ll * (512 / 8) * 3);
+    EXPECT_EQ(r.events.wgt_sram_bytes, 32ll * (512 / 8) * 5);
+}
+
+TEST(S2taAw, MacSlotsScaleWithSerialization)
+{
+    Rng rng(3);
+    RunOptions opt;
+    opt.compute_output = false;
+    GemmProblem p = makeDbbGemm(64, 64, 32, 4, 3, rng);
+    const auto r =
+        makeArrayModel(ArrayConfig::s2taAw(3))->run(p, opt);
+    // One MAC slot per serialized activation element.
+    const int64_t slots = 64ll * 32 * (64 / 8) * 3;
+    EXPECT_EQ(r.events.macSlots(), slots);
+    EXPECT_EQ(r.events.mux_selects, slots);
+    // Accumulators update only on executed MACs (private per MAC).
+    EXPECT_EQ(r.events.accum_updates, r.events.macs_executed);
+}
+
+TEST(S2taAw, DenseFallbackRunsAtSaParity)
+{
+    Rng rng(4);
+    RunOptions opt;
+    opt.compute_output = false;
+    // Dense activations (8/8), 4/8 weights.
+    GemmProblem p = makeUnstructuredGemm(128, 2048, 64, 0.5, 0.0,
+                                         rng);
+    pruneWeightsDbb(p, DbbSpec{4, 8});
+    const int64_t base = makeArrayModel(ArrayConfig::saZvcg())
+                             ->run(p, opt).events.cycles;
+    const int64_t aw = makeArrayModel(ArrayConfig::s2taAw(8))
+                           ->run(p, opt).events.cycles;
+    // 8 cycles per 8-block: same effective rate as the scalar SA.
+    EXPECT_NEAR(static_cast<double>(base) / aw, 1.0, 0.1);
+}
+
+TEST(S2taAw, ExecutedMacsAreMaskIntersections)
+{
+    Rng rng(5);
+    RunOptions opt;
+    opt.compute_output = false;
+    GemmProblem p = makeDbbGemm(32, 256, 32, 4, 2, rng);
+    const auto r =
+        makeArrayModel(ArrayConfig::s2taAw(2))->run(p, opt);
+    const OperandProfile prof = OperandProfile::build(p);
+    EXPECT_EQ(r.events.macs_executed, prof.matched_products);
+    // With random positions, a 2-element activation block meets a
+    // 4/8 weight block in ~half its slots.
+    const double hit =
+        static_cast<double>(r.events.macs_executed) /
+        static_cast<double>(r.events.macSlots());
+    EXPECT_NEAR(hit, 0.5, 0.05);
+}
+
+TEST(S2taAwDeath, RejectsOverDenseActivations)
+{
+    Rng rng(6);
+    GemmProblem p = makeDbbGemm(8, 32, 8, 4, 5, rng);
+    const auto model = makeArrayModel(ArrayConfig::s2taAw(2));
+    EXPECT_DEATH(model->run(p), "violates");
+}
+
+TEST(S2taAw, DapPipelineIntegration)
+{
+    // Full pipeline: unstructured activations -> DAP -> run.
+    Rng rng(7);
+    GemmProblem p = makeUnstructuredGemm(32, 128, 32, 0.6, 0.4, rng);
+    pruneWeightsDbb(p, DbbSpec{4, 8});
+    dapPruneActivations(p, 3);
+    const auto model = makeArrayModel(ArrayConfig::s2taAw(3));
+    const GemmRun r = model->run(p);
+    EXPECT_EQ(r.output, gemmReference(p));
+}
+
+} // anonymous namespace
+} // namespace s2ta

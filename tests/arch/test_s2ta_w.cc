@@ -1,0 +1,113 @@
+/** @file Unit tests for the S2TA-W (weight-DBB-only) model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/models.hh"
+#include "core/weight_pruner.hh"
+#include "workload/sparse_gen.hh"
+
+namespace s2ta {
+namespace {
+
+TEST(S2taW, OutputMatchesReferenceThroughMuxSteering)
+{
+    Rng rng(1);
+    const GemmProblem p =
+        makeDbbGemm(20, 64, 40, 4, 8, rng); // 4/8 weights, dense act
+    const auto model = makeArrayModel(ArrayConfig::s2taW());
+    EXPECT_EQ(model->run(p).output, gemmReference(p));
+}
+
+TEST(S2taW, TwoXSpeedupOverZvcgWith48Weights)
+{
+    Rng rng(2);
+    RunOptions opt;
+    opt.compute_output = false;
+    // Large enough for fill/drain to be negligible.
+    GemmProblem p = makeUnstructuredGemm(128, 1024, 128, 0.5, 0.5,
+                                         rng);
+    pruneWeightsDbb(p, DbbSpec{4, 8});
+
+    const int64_t base = makeArrayModel(ArrayConfig::saZvcg())
+                             ->run(p, opt).events.cycles;
+    const int64_t w = makeArrayModel(ArrayConfig::s2taW())
+                          ->run(p, opt).events.cycles;
+    // Fig. 9c: fixed 2x speedup when weight sparsity >= 50%.
+    EXPECT_NEAR(static_cast<double>(base) / w, 2.0, 0.15);
+}
+
+TEST(S2taW, SpeedupCappedAtTwoRegardlessOfActSparsity)
+{
+    Rng rng(3);
+    RunOptions opt;
+    opt.compute_output = false;
+    GemmProblem p = makeDbbGemm(128, 1024, 128, 2, 1, rng);
+    const int64_t base = makeArrayModel(ArrayConfig::saZvcg())
+                             ->run(p, opt).events.cycles;
+    const int64_t w = makeArrayModel(ArrayConfig::s2taW())
+                          ->run(p, opt).events.cycles;
+    // "the speedup from S2TA-W is capped at 2x regardless of the
+    // activation sparsity" (Sec. 8.2).
+    EXPECT_NEAR(static_cast<double>(base) / w, 2.0, 0.15);
+}
+
+TEST(S2taW, DenseWeightFallbackHalvesThroughput)
+{
+    Rng rng(4);
+    RunOptions opt;
+    opt.compute_output = false;
+    const GemmProblem p =
+        makeUnstructuredGemm(64, 512, 64, 0.0, 0.5, rng);
+    ArrayConfig dense_cfg = ArrayConfig::s2taW();
+    dense_cfg.weight_dbb = DbbSpec{8, 8};
+    const auto wmodel = makeArrayModel(dense_cfg);
+    const auto r = wmodel->run(p, opt);
+    const int64_t base = makeArrayModel(ArrayConfig::saZvcg())
+                             ->run(p, opt).events.cycles;
+    // Two passes per block: parity with the scalar SA (1x).
+    EXPECT_NEAR(static_cast<double>(base) / r.events.cycles, 1.0,
+                0.15);
+}
+
+TEST(S2taW, WeightSramMovesCompressed)
+{
+    Rng rng(5);
+    RunOptions opt;
+    opt.compute_output = false;
+    GemmProblem p = makeDbbGemm(16, 512, 32, 4, 8, rng);
+    const auto r =
+        makeArrayModel(ArrayConfig::s2taW())->run(p, opt);
+    // One row tile (16 rows), one col tile (32 cols): weights read
+    // once, 5 bytes per 8-block (Sec. 4: 37.5% bandwidth cut).
+    EXPECT_EQ(r.events.wgt_sram_bytes, 32ll * (512 / 8) * 5);
+    // Activations stay dense.
+    EXPECT_EQ(r.events.act_sram_read_bytes, 16ll * 512);
+}
+
+TEST(S2taW, MacSlotsAndMuxes)
+{
+    Rng rng(6);
+    RunOptions opt;
+    opt.compute_output = false;
+    GemmProblem p = makeDbbGemm(16, 64, 32, 4, 8, rng);
+    const auto r =
+        makeArrayModel(ArrayConfig::s2taW())->run(p, opt);
+    // 4 MAC slots per block per output, one pass.
+    const int64_t slots = 16ll * 32 * (64 / 8) * 4;
+    EXPECT_EQ(r.events.macSlots(), slots);
+    EXPECT_EQ(r.events.mux_selects, slots);
+    const OperandProfile prof = OperandProfile::build(p);
+    EXPECT_EQ(r.events.macs_executed, prof.matched_products);
+}
+
+TEST(S2taWDeath, RejectsUnprunedWeights)
+{
+    Rng rng(7);
+    const GemmProblem p =
+        makeUnstructuredGemm(16, 64, 16, 0.0, 0.0, rng);
+    const auto model = makeArrayModel(ArrayConfig::s2taW());
+    EXPECT_DEATH(model->run(p), "violates");
+}
+
+} // anonymous namespace
+} // namespace s2ta

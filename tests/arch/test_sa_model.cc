@@ -1,0 +1,126 @@
+/** @file Unit tests for the dense / ZVCG systolic array model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/models.hh"
+#include "workload/sparse_gen.hh"
+
+namespace s2ta {
+namespace {
+
+TEST(SaModel, OutputMatchesReference)
+{
+    Rng rng(1);
+    const GemmProblem p =
+        makeUnstructuredGemm(40, 64, 70, 0.5, 0.5, rng);
+    const auto model = makeArrayModel(ArrayConfig::sa());
+    const GemmRun run = model->run(p);
+    EXPECT_EQ(run.output, gemmReference(p));
+}
+
+TEST(SaModel, CyclesFollowTileFormula)
+{
+    Rng rng(2);
+    // Exactly one 32x64 tile.
+    const GemmProblem p1 =
+        makeUnstructuredGemm(32, 128, 64, 0.5, 0.5, rng);
+    const auto model = makeArrayModel(ArrayConfig::sa());
+    const auto r1 = model->run(p1);
+    EXPECT_EQ(r1.events.cycles, 128 + 32 + 64);
+
+    // Four tiles (2x2) of the same K.
+    const GemmProblem p4 =
+        makeUnstructuredGemm(64, 128, 128, 0.5, 0.5, rng);
+    const auto r4 = model->run(p4);
+    EXPECT_EQ(r4.events.cycles, 4 * (128 + 32 + 64));
+}
+
+TEST(SaModel, PartialTilesRoundUp)
+{
+    Rng rng(3);
+    const GemmProblem p =
+        makeUnstructuredGemm(33, 64, 65, 0.5, 0.5, rng);
+    const auto model = makeArrayModel(ArrayConfig::sa());
+    const auto r = model->run(p);
+    // 2x2 tiles even though only slightly over one tile.
+    EXPECT_EQ(r.events.cycles, 4 * (64 + 32 + 64));
+}
+
+TEST(SaModel, NoSpeedupFromSparsity)
+{
+    Rng rng(4);
+    const GemmProblem dense =
+        makeUnstructuredGemm(32, 256, 64, 0.0, 0.0, rng);
+    const GemmProblem sparse =
+        makeUnstructuredGemm(32, 256, 64, 0.9, 0.9, rng);
+    const auto sa = makeArrayModel(ArrayConfig::saZvcg());
+    // Fig. 9a: "No Speedup Gain" regardless of sparsity.
+    EXPECT_EQ(sa->run(dense).events.cycles,
+              sa->run(sparse).events.cycles);
+}
+
+TEST(SaModel, ZvcgGatesZeroSlots)
+{
+    Rng rng(5);
+    const GemmProblem p =
+        makeUnstructuredGemm(32, 64, 64, 0.5, 0.5, rng);
+    const auto sa = makeArrayModel(ArrayConfig::sa());
+    const auto zvcg = makeArrayModel(ArrayConfig::saZvcg());
+    const auto rs = sa->run(p);
+    const auto rz = zvcg->run(p);
+
+    // Identical slot decomposition, different classification.
+    EXPECT_EQ(rs.events.macs_executed, rz.events.macs_executed);
+    EXPECT_EQ(rs.events.macs_zero,
+              rz.events.macs_gated); // SA: zero, ZVCG: gated
+    EXPECT_EQ(rz.events.macs_zero, 0);
+    EXPECT_EQ(rs.events.macs_gated, 0);
+    EXPECT_EQ(rs.events.macSlots(), 32ll * 64 * 64);
+
+    // ZVCG gates operand registers and accumulators too.
+    EXPECT_GT(rz.events.operand_reg_gated_bytes, 0);
+    EXPECT_EQ(rs.events.operand_reg_gated_bytes, 0);
+    EXPECT_LT(rz.events.accum_updates, rs.events.accum_updates);
+}
+
+TEST(SaModel, ExecutedMatchesExpectationAtHalfSparsity)
+{
+    Rng rng(6);
+    const GemmProblem p =
+        makeUnstructuredGemm(64, 256, 128, 0.5, 0.5, rng);
+    const auto model = makeArrayModel(ArrayConfig::saZvcg());
+    const auto r = model->run(p);
+    // P(both non-zero) = 0.25 at 50/50 sparsity.
+    const double frac =
+        static_cast<double>(r.events.macs_executed) /
+        static_cast<double>(r.events.macSlots());
+    EXPECT_NEAR(frac, 0.25, 0.01);
+}
+
+TEST(SaModel, SramTrafficFollowsTileReuse)
+{
+    Rng rng(7);
+    const GemmProblem p =
+        makeUnstructuredGemm(64, 128, 128, 0.3, 0.3, rng);
+    const auto model = makeArrayModel(ArrayConfig::sa());
+    const auto r = model->run(p);
+    // 2 row tiles x 2 col tiles: activations re-read per col tile,
+    // weights per row tile.
+    EXPECT_EQ(r.events.act_sram_read_bytes, 2ll * 64 * 128);
+    EXPECT_EQ(r.events.wgt_sram_bytes, 2ll * 128 * 128);
+    EXPECT_EQ(r.events.act_sram_write_bytes, 64ll * 128);
+    EXPECT_EQ(r.events.actfn_elements, 64ll * 128);
+}
+
+TEST(SaModel, LogicalMacsRecorded)
+{
+    Rng rng(8);
+    const GemmProblem p =
+        makeUnstructuredGemm(16, 32, 8, 0.5, 0.5, rng);
+    const auto r = makeArrayModel(ArrayConfig::sa())->run(p);
+    EXPECT_EQ(r.events.logical_macs, 16ll * 32 * 8);
+    EXPECT_GT(r.effectiveMacsPerCycle(), 0.0);
+}
+
+} // anonymous namespace
+} // namespace s2ta

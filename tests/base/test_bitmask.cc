@@ -1,0 +1,77 @@
+/** @file Unit tests for the DBB bitmask helpers. */
+
+#include <gtest/gtest.h>
+
+#include "base/bitmask.hh"
+
+namespace s2ta {
+namespace {
+
+TEST(Bitmask, PopcountCountsSetBits)
+{
+    EXPECT_EQ(maskPopcount(0x00), 0);
+    EXPECT_EQ(maskPopcount(0xFF), 8);
+    EXPECT_EQ(maskPopcount(0x4D), 4); // 0b01001101
+    EXPECT_EQ(maskPopcount(0x01), 1);
+}
+
+TEST(Bitmask, TestAndSetRoundTrip)
+{
+    Mask8 m = 0;
+    for (int i = 0; i < 8; i += 2)
+        m = maskSet(m, i);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(maskTest(m, i), i % 2 == 0) << "bit " << i;
+    EXPECT_EQ(m, 0x55);
+}
+
+TEST(Bitmask, SetIsIdempotent)
+{
+    Mask8 m = maskSet(0, 3);
+    EXPECT_EQ(maskSet(m, 3), m);
+}
+
+TEST(Bitmask, RankCountsPrecedingSetBits)
+{
+    const Mask8 m = 0x4D; // bits 0, 2, 3, 6
+    EXPECT_EQ(maskRank(m, 0), 0);
+    EXPECT_EQ(maskRank(m, 2), 1);
+    EXPECT_EQ(maskRank(m, 3), 2);
+    EXPECT_EQ(maskRank(m, 6), 3);
+}
+
+TEST(Bitmask, NthSetBitInvertsRank)
+{
+    const Mask8 m = 0x4D;
+    for (int n = 0; n < maskPopcount(m); ++n) {
+        const int pos = maskNthSetBit(m, n);
+        EXPECT_EQ(maskRank(m, pos), n);
+    }
+}
+
+TEST(Bitmask, RankNthRoundTripAllMasks)
+{
+    // Exhaustive property check over all 256 masks.
+    for (int mask = 0; mask < 256; ++mask) {
+        const Mask8 m = static_cast<Mask8>(mask);
+        int seen = 0;
+        for (int i = 0; i < 8; ++i) {
+            if (!maskTest(m, i))
+                continue;
+            EXPECT_EQ(maskRank(m, i), seen);
+            EXPECT_EQ(maskNthSetBit(m, seen), i);
+            ++seen;
+        }
+        EXPECT_EQ(seen, maskPopcount(m));
+    }
+}
+
+TEST(Bitmask, ToStringUsesVerilogLiteral)
+{
+    EXPECT_EQ(maskToString(0x4D), "8'h4D");
+    EXPECT_EQ(maskToString(0x00), "8'h00");
+    EXPECT_EQ(maskToString(0xFF), "8'hFF");
+}
+
+} // anonymous namespace
+} // namespace s2ta

@@ -1,0 +1,118 @@
+/** @file Unit tests for the deterministic RNG wrapper. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/random.hh"
+
+namespace s2ta {
+namespace {
+
+TEST(Random, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.uniformInt(0, 1 << 30) == b.uniformInt(0, 1 << 30);
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Random, UniformIntRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.uniformInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Random, NonZeroInt8NeverZeroAndCoversRange)
+{
+    Rng rng(9);
+    bool saw_min = false, saw_max = false;
+    for (int i = 0; i < 20000; ++i) {
+        const int v = rng.nonZeroInt8();
+        EXPECT_NE(v, 0);
+        EXPECT_GE(v, -128);
+        EXPECT_LE(v, 127);
+        saw_min |= v == -128;
+        saw_max |= v == 127;
+    }
+    EXPECT_TRUE(saw_min);
+    EXPECT_TRUE(saw_max);
+}
+
+TEST(Random, ChooseKReturnsDistinctSorted)
+{
+    Rng rng(11);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto idx = rng.chooseK(20, 7);
+        ASSERT_EQ(idx.size(), 7u);
+        std::set<int> seen(idx.begin(), idx.end());
+        EXPECT_EQ(seen.size(), 7u);
+        EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+        EXPECT_GE(idx.front(), 0);
+        EXPECT_LT(idx.back(), 20);
+    }
+}
+
+TEST(Random, ChooseKEdgeCases)
+{
+    Rng rng(13);
+    EXPECT_TRUE(rng.chooseK(5, 0).empty());
+    const auto all = rng.chooseK(5, 5);
+    ASSERT_EQ(all.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(all[static_cast<size_t>(i)], i);
+}
+
+TEST(Random, ChooseKIsApproximatelyUniform)
+{
+    Rng rng(17);
+    std::vector<int> hits(10, 0);
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t)
+        for (int i : rng.chooseK(10, 3))
+            ++hits[static_cast<size_t>(i)];
+    // Each position should be chosen ~30% of the time.
+    for (int i = 0; i < 10; ++i) {
+        const double frac =
+            static_cast<double>(hits[static_cast<size_t>(i)]) / trials;
+        EXPECT_NEAR(frac, 0.3, 0.03) << "position " << i;
+    }
+}
+
+TEST(Random, BernoulliMatchesProbability)
+{
+    Rng rng(23);
+    int heads = 0;
+    const int trials = 50000;
+    for (int i = 0; i < trials; ++i)
+        heads += rng.bernoulli(0.25);
+    EXPECT_NEAR(static_cast<double>(heads) / trials, 0.25, 0.01);
+}
+
+TEST(Random, ForkProducesIndependentStream)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    // The child stream must not mirror the parent stream.
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        equal += parent.uniformInt(0, 1 << 30) ==
+                 child.uniformInt(0, 1 << 30);
+    }
+    EXPECT_LT(equal, 3);
+}
+
+} // anonymous namespace
+} // namespace s2ta

@@ -1,0 +1,56 @@
+/** @file Unit tests for the text-table printer's formatters. */
+
+#include <gtest/gtest.h>
+
+#include "base/table.hh"
+
+namespace s2ta {
+namespace {
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.14159, 0), "3");
+    EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, CountInsertsThousandsSeparators)
+{
+    EXPECT_EQ(Table::count(0), "0");
+    EXPECT_EQ(Table::count(999), "999");
+    EXPECT_EQ(Table::count(1000), "1,000");
+    EXPECT_EQ(Table::count(1234567), "1,234,567");
+    EXPECT_EQ(Table::count(-1234567), "-1,234,567");
+    EXPECT_EQ(Table::count(-12), "-12");
+}
+
+TEST(Table, RatioAndPercent)
+{
+    EXPECT_EQ(Table::ratio(2.0), "2.00x");
+    EXPECT_EQ(Table::ratio(1.255, 1), "1.3x");
+    EXPECT_EQ(Table::percent(0.493), "49.3%");
+    EXPECT_EQ(Table::percent(1.0, 0), "100%");
+}
+
+TEST(Table, PrintsAlignedRows)
+{
+    Table t({"Design", "Speedup"});
+    t.addRow({"SA-ZVCG", "1.00x"});
+    t.addSeparator();
+    t.addRow({"S2TA-AW", "2.11x"});
+
+    // Render to a memory stream and sanity-check the layout.
+    char buf[512] = {};
+    std::FILE *mem = fmemopen(buf, sizeof(buf), "w");
+    ASSERT_NE(mem, nullptr);
+    t.print(mem);
+    std::fclose(mem);
+    const std::string out(buf);
+    EXPECT_NE(out.find("Design"), std::string::npos);
+    EXPECT_NE(out.find("S2TA-AW"), std::string::npos);
+    EXPECT_NE(out.find("2.11x"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace s2ta

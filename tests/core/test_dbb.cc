@@ -1,0 +1,128 @@
+/** @file Unit tests for the DBB block codec and compressed matrix. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "base/random.hh"
+#include "core/dbb.hh"
+#include "core/weight_pruner.hh"
+#include "workload/sparse_gen.hh"
+
+namespace s2ta {
+namespace {
+
+TEST(DbbSpec, Basics)
+{
+    const DbbSpec s{4, 8};
+    EXPECT_TRUE(s.valid());
+    EXPECT_DOUBLE_EQ(s.density(), 0.5);
+    EXPECT_DOUBLE_EQ(s.sparsity(), 0.5);
+    EXPECT_EQ(s.toString(), "4/8");
+    EXPECT_FALSE(s.isDense());
+    EXPECT_EQ(s.storedBytesPerBlock(), 5);
+
+    const DbbSpec d{8, 8};
+    EXPECT_TRUE(d.isDense());
+    EXPECT_EQ(d.storedBytesPerBlock(), 8);
+}
+
+TEST(DbbBlock, EncodeMatchesFig5Example)
+{
+    // Paper Fig. 5: a 4/8 block keeps the non-zeros and a
+    // positional bitmask.
+    const std::array<int8_t, 8> dense = {0, 9, 0, 5, 2, 0, 6, 0};
+    const DbbBlock blk = dbbEncode(dense, DbbSpec{4, 8});
+    EXPECT_EQ(blk.storedCount(), 4);
+    EXPECT_EQ(blk.values[0], 9);
+    EXPECT_EQ(blk.values[1], 5);
+    EXPECT_EQ(blk.values[2], 2);
+    EXPECT_EQ(blk.values[3], 6);
+    EXPECT_TRUE(maskTest(blk.mask, 1));
+    EXPECT_TRUE(maskTest(blk.mask, 3));
+    EXPECT_TRUE(maskTest(blk.mask, 4));
+    EXPECT_TRUE(maskTest(blk.mask, 6));
+    EXPECT_EQ(maskPopcount(blk.mask), 4);
+}
+
+TEST(DbbBlock, RoundTripRandomBlocks)
+{
+    Rng rng(3);
+    const DbbSpec spec{4, 8};
+    for (int trial = 0; trial < 500; ++trial) {
+        std::array<int8_t, 8> dense{};
+        const int nnz = static_cast<int>(rng.uniformInt(0, 4));
+        for (int pos : rng.chooseK(8, nnz))
+            dense[static_cast<size_t>(pos)] = rng.nonZeroInt8();
+
+        const DbbBlock blk = dbbEncode(dense, spec);
+        std::array<int8_t, 8> back{};
+        dbbDecode(blk, spec, back);
+        EXPECT_EQ(dense, back) << "trial " << trial;
+    }
+}
+
+TEST(DbbBlock, ExpandedAtReturnsZeroForUnsetPositions)
+{
+    const std::array<int8_t, 8> dense = {0, 0, 0, -3, 0, 0, 0, 0};
+    const DbbBlock blk = dbbEncode(dense, DbbSpec{4, 8});
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(blk.expandedAt(i), dense[static_cast<size_t>(i)]);
+}
+
+TEST(DbbBlockDeath, OverDenseBlockRejected)
+{
+    const std::array<int8_t, 8> dense = {1, 2, 3, 4, 5, 0, 0, 0};
+    EXPECT_DEATH(dbbEncode(dense, DbbSpec{4, 8}), "density bound");
+}
+
+TEST(DbbBlock, SatisfiesChecksBound)
+{
+    const std::array<int8_t, 8> four = {1, 2, 3, 4, 0, 0, 0, 0};
+    const std::array<int8_t, 8> five = {1, 2, 3, 4, 5, 0, 0, 0};
+    EXPECT_TRUE(dbbSatisfies(four, DbbSpec{4, 8}));
+    EXPECT_FALSE(dbbSatisfies(five, DbbSpec{4, 8}));
+    EXPECT_TRUE(dbbSatisfies(five, DbbSpec{5, 8}));
+}
+
+TEST(DbbMatrix, WeightRoundTrip)
+{
+    Rng rng(5);
+    GemmProblem p = makeDbbGemm(4, 32, 6, 4, 8, rng);
+    const DbbMatrix m = DbbMatrix::fromWeights(p, DbbSpec{4, 8});
+    EXPECT_EQ(m.vectors(), p.n);
+    EXPECT_EQ(m.blocksPerVector(), p.k / 8);
+
+    const auto dense = m.toDense();
+    for (int j = 0; j < p.n; ++j)
+        for (int kk = 0; kk < p.k; ++kk)
+            EXPECT_EQ(dense[static_cast<size_t>(j) * p.k + kk],
+                      p.wgtAt(kk, j));
+}
+
+TEST(DbbMatrix, ActivationRoundTrip)
+{
+    Rng rng(6);
+    GemmProblem p = makeDbbGemm(5, 24, 3, 8, 3, rng);
+    const DbbMatrix m = DbbMatrix::fromActivations(p, DbbSpec{3, 8});
+    const auto dense = m.toDense();
+    for (int i = 0; i < p.m; ++i)
+        for (int kk = 0; kk < p.k; ++kk)
+            EXPECT_EQ(dense[static_cast<size_t>(i) * p.k + kk],
+                      p.actAt(i, kk));
+}
+
+TEST(DbbMatrix, CompressionRatioMatchesFormula)
+{
+    Rng rng(7);
+    GemmProblem p = makeDbbGemm(4, 64, 4, 4, 8, rng);
+    const DbbMatrix m = DbbMatrix::fromWeights(p, DbbSpec{4, 8});
+    // 4/8 DBB: 5 bytes stored per 8 dense bytes (Sec. 4: "37.5%
+    // reduction in weight operand bandwidth").
+    EXPECT_EQ(m.compressedBytes(), m.denseBytes() * 5 / 8);
+    // Fully occupied blocks -> occupancy 1.
+    EXPECT_DOUBLE_EQ(m.occupancy(), 1.0);
+}
+
+} // anonymous namespace
+} // namespace s2ta

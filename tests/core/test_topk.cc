@@ -1,0 +1,110 @@
+/** @file Unit tests for the shared Top-NNZ selection. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "base/random.hh"
+#include "core/topk.hh"
+
+namespace s2ta {
+namespace {
+
+TEST(TopK, SelectsLargestMagnitudes)
+{
+    const std::array<int8_t, 8> blk = {1, -9, 2, 8, -3, 7, 4, 0};
+    const Mask8 m = topNnzMask(std::span<const int8_t>(blk), 3);
+    // |values|: 9 (pos 1), 8 (pos 3), 7 (pos 5).
+    EXPECT_TRUE(maskTest(m, 1));
+    EXPECT_TRUE(maskTest(m, 3));
+    EXPECT_TRUE(maskTest(m, 5));
+    EXPECT_EQ(maskPopcount(m), 3);
+}
+
+TEST(TopK, LowestIndexWinsTies)
+{
+    const std::array<int8_t, 8> blk = {5, -5, 5, 0, 0, 5, 0, 0};
+    const Mask8 m = topNnzMask(std::span<const int8_t>(blk), 2);
+    EXPECT_TRUE(maskTest(m, 0));
+    EXPECT_TRUE(maskTest(m, 1));
+    EXPECT_EQ(maskPopcount(m), 2);
+}
+
+TEST(TopK, ZerosNeverSelected)
+{
+    const std::array<int8_t, 8> blk = {0, 0, 3, 0, 0, 0, 0, 0};
+    const Mask8 m = topNnzMask(std::span<const int8_t>(blk), 5);
+    EXPECT_EQ(maskPopcount(m), 1);
+    EXPECT_TRUE(maskTest(m, 2));
+}
+
+TEST(TopK, NnzZeroSelectsNothing)
+{
+    const std::array<int8_t, 8> blk = {1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_EQ(topNnzMask(std::span<const int8_t>(blk), 0), 0);
+}
+
+TEST(TopK, WorksOnFloats)
+{
+    const std::array<float, 8> blk = {0.1f, -0.9f, 0.0f, 0.5f,
+                                      -0.2f, 0.05f, 0.3f, 0.0f};
+    const Mask8 m = topNnzMask(std::span<const float>(blk), 2);
+    EXPECT_TRUE(maskTest(m, 1));
+    EXPECT_TRUE(maskTest(m, 3));
+}
+
+TEST(TopK, ShorterBlocksSupported)
+{
+    const std::array<int8_t, 3> blk = {2, -7, 1};
+    const Mask8 m = topNnzMask(std::span<const int8_t>(blk), 2);
+    EXPECT_TRUE(maskTest(m, 0));
+    EXPECT_TRUE(maskTest(m, 1));
+}
+
+TEST(TopK, KeepMaskZeroesDropped)
+{
+    std::array<int8_t, 8> blk = {1, 2, 3, 4, 5, 6, 7, 8};
+    applyKeepMask(std::span<int8_t>(blk), 0b10000001);
+    EXPECT_EQ(blk[0], 1);
+    EXPECT_EQ(blk[7], 8);
+    for (int i = 1; i < 7; ++i)
+        EXPECT_EQ(blk[static_cast<size_t>(i)], 0);
+}
+
+TEST(TopK, SelectionIsPermutationInvariantInMagnitudeSet)
+{
+    // Property: the multiset of selected magnitudes equals the NNZ
+    // largest magnitudes of the block, for random blocks.
+    Rng rng(11);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::array<int8_t, 8> blk{};
+        for (auto &v : blk)
+            v = static_cast<int8_t>(rng.uniformInt(-128, 127));
+        const int nnz = static_cast<int>(rng.uniformInt(1, 8));
+        const Mask8 m =
+            topNnzMask(std::span<const int8_t>(blk), nnz);
+
+        std::vector<int> mags;
+        for (auto v : blk)
+            if (v != 0)
+                mags.push_back(std::abs(static_cast<int>(v)));
+        std::sort(mags.rbegin(), mags.rend());
+        const size_t expect_count =
+            std::min(mags.size(), static_cast<size_t>(nnz));
+
+        std::vector<int> selected;
+        for (int i = 0; i < 8; ++i)
+            if (maskTest(m, i))
+                selected.push_back(
+                    std::abs(static_cast<int>(
+                        blk[static_cast<size_t>(i)])));
+        std::sort(selected.rbegin(), selected.rend());
+
+        ASSERT_EQ(selected.size(), expect_count) << "trial " << trial;
+        for (size_t i = 0; i < expect_count; ++i)
+            EXPECT_EQ(selected[i], mags[i]) << "trial " << trial;
+    }
+}
+
+} // anonymous namespace
+} // namespace s2ta

@@ -1,0 +1,153 @@
+/** @file Unit tests for static W-DBB pruning. */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "core/dbb.hh"
+#include "core/weight_pruner.hh"
+#include "workload/sparse_gen.hh"
+
+namespace s2ta {
+namespace {
+
+/** Check every K-block of every weight column satisfies the spec. */
+bool
+weightsSatisfy(const GemmProblem &p, const DbbSpec &spec)
+{
+    std::vector<int8_t> blk(static_cast<size_t>(spec.bz));
+    for (int j = 0; j < p.n; ++j) {
+        for (int b = 0; b < p.k / spec.bz; ++b) {
+            for (int e = 0; e < spec.bz; ++e)
+                blk[static_cast<size_t>(e)] =
+                    p.wgtAt(b * spec.bz + e, j);
+            if (!dbbSatisfies(blk, spec))
+                return false;
+        }
+    }
+    return true;
+}
+
+TEST(WeightPruner, EnforcesBoundOnDenseWeights)
+{
+    Rng rng(1);
+    GemmProblem p = makeUnstructuredGemm(4, 64, 8, 0.0, 0.0, rng);
+    ASSERT_FALSE(weightsSatisfy(p, DbbSpec{4, 8}));
+    const PruneStats st = pruneWeightsDbb(p, DbbSpec{4, 8});
+    EXPECT_TRUE(weightsSatisfy(p, DbbSpec{4, 8}));
+    EXPECT_EQ(st.blocks, 8 * 8); // 8 blocks per column, 8 columns
+    // Dense input: exactly half of all weights were dropped.
+    EXPECT_EQ(st.nonzeros_dropped, 4 * 64 * 8 / 2 / 4);
+}
+
+TEST(WeightPruner, KeepsLargestMagnitudes)
+{
+    GemmProblem p(1, 8, 1);
+    const int8_t vals[8] = {10, -20, 5, 30, -1, 2, 40, -50};
+    for (int kk = 0; kk < 8; ++kk)
+        p.wgtAt(kk, 0) = vals[kk];
+    pruneWeightsDbb(p, DbbSpec{4, 8});
+    // Survivors: |−50|, |40|, |30|, |−20|.
+    EXPECT_EQ(p.wgtAt(7, 0), -50);
+    EXPECT_EQ(p.wgtAt(6, 0), 40);
+    EXPECT_EQ(p.wgtAt(3, 0), 30);
+    EXPECT_EQ(p.wgtAt(1, 0), -20);
+    EXPECT_EQ(p.wgtAt(0, 0), 0);
+    EXPECT_EQ(p.wgtAt(2, 0), 0);
+}
+
+TEST(WeightPruner, AlreadySparseBlocksUntouched)
+{
+    Rng rng(2);
+    GemmProblem p = makeDbbGemm(4, 32, 4, 3, 8, rng);
+    const GemmProblem before = p;
+    const PruneStats st = pruneWeightsDbb(p, DbbSpec{4, 8});
+    EXPECT_EQ(st.nonzeros_dropped, 0);
+    EXPECT_DOUBLE_EQ(st.l2_retained, 1.0);
+    EXPECT_EQ(p.w, before.w);
+}
+
+TEST(WeightPruner, L2RetentionIsSensible)
+{
+    Rng rng(3);
+    GemmProblem p = makeUnstructuredGemm(8, 64, 8, 0.0, 0.0, rng);
+    const PruneStats st = pruneWeightsDbb(p, DbbSpec{4, 8});
+    // Keeping the 4 largest of 8 uniform values retains well over
+    // half of the energy.
+    EXPECT_GT(st.l2_retained, 0.6);
+    EXPECT_LT(st.l2_retained, 1.0);
+    EXPECT_NEAR(st.dropFraction(), 0.5, 0.02);
+}
+
+TEST(WeightPruner, ActivationVariantPrunesRows)
+{
+    Rng rng(4);
+    GemmProblem p = makeUnstructuredGemm(6, 32, 4, 0.0, 0.0, rng);
+    pruneActivationsDbb(p, DbbSpec{2, 8});
+    for (int i = 0; i < p.m; ++i) {
+        for (int b = 0; b < p.k / 8; ++b) {
+            int nz = 0;
+            for (int e = 0; e < 8; ++e)
+                nz += p.actAt(i, b * 8 + e) != 0;
+            EXPECT_LE(nz, 2);
+        }
+    }
+}
+
+TEST(WeightPruner, TensorVariantHandlesPartialTailBlock)
+{
+    Int8Tensor t({2, 11}); // channel dim 11 = one 8-block + tail 3
+    for (int64_t i = 0; i < t.size(); ++i)
+        t.flat(i) = static_cast<int8_t>(i + 1);
+    pruneTensorDbb(t, DbbSpec{2, 8});
+    for (int r = 0; r < 2; ++r) {
+        int nz_full = 0, nz_tail = 0;
+        for (int c = 0; c < 8; ++c)
+            nz_full += t(r, c) != 0;
+        for (int c = 8; c < 11; ++c)
+            nz_tail += t(r, c) != 0;
+        EXPECT_EQ(nz_full, 2);
+        EXPECT_EQ(nz_tail, 2); // bound min(2, 3)
+    }
+}
+
+TEST(WeightPruner, AlongDimPrunesInputChannels)
+{
+    // (kh, kw, cin, cout) conv weights: blocks must run along cin.
+    FloatTensor w({1, 1, 8, 4});
+    for (int c = 0; c < 8; ++c)
+        for (int oc = 0; oc < 4; ++oc)
+            w(0, 0, c, oc) = static_cast<float>(c + 1);
+    pruneFloatTensorDbbAlongDim(w, 2, DbbSpec{3, 8});
+    for (int oc = 0; oc < 4; ++oc) {
+        int nz = 0;
+        for (int c = 0; c < 8; ++c)
+            nz += w(0, 0, c, oc) != 0.0f;
+        EXPECT_EQ(nz, 3) << "output channel " << oc;
+        // The largest magnitudes (c = 5, 6, 7) survive.
+        EXPECT_NE(w(0, 0, 7, oc), 0.0f);
+        EXPECT_NE(w(0, 0, 6, oc), 0.0f);
+        EXPECT_NE(w(0, 0, 5, oc), 0.0f);
+    }
+}
+
+TEST(ProgressiveSpec, RampsFromDenseToTarget)
+{
+    const DbbSpec target{4, 8};
+    const DbbSpec e0 = progressiveSpec(0, 4, target);
+    const DbbSpec e3 = progressiveSpec(3, 4, target);
+    const DbbSpec e9 = progressiveSpec(9, 4, target);
+    EXPECT_GE(e0.nnz, target.nnz);
+    EXPECT_LE(e0.nnz, 8);
+    EXPECT_EQ(e3.nnz, target.nnz);
+    EXPECT_EQ(e9.nnz, target.nnz);
+    // Monotone non-increasing budget.
+    int prev = 8;
+    for (int ep = 0; ep < 8; ++ep) {
+        const int nnz = progressiveSpec(ep, 5, target).nnz;
+        EXPECT_LE(nnz, prev);
+        prev = nnz;
+    }
+}
+
+} // anonymous namespace
+} // namespace s2ta

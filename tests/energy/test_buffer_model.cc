@@ -1,0 +1,72 @@
+/** @file Unit tests for the per-PE buffer model (paper Table 1). */
+
+#include <gtest/gtest.h>
+
+#include "energy/buffer_model.hh"
+
+namespace s2ta {
+namespace {
+
+TEST(BufferModel, SystolicArrayMatchesTable1)
+{
+    // Table 1: SA = 2 B operands + 4 B accumulator per MAC.
+    const BufferBreakdown b = bufferModel(ArrayConfig::sa());
+    EXPECT_DOUBLE_EQ(b.operand_bytes_per_mac, 2.0);
+    EXPECT_DOUBLE_EQ(b.accum_bytes_per_mac, 4.0);
+    EXPECT_DOUBLE_EQ(b.fifo_bytes_per_mac, 0.0);
+    EXPECT_DOUBLE_EQ(b.totalPerMac(), 6.0);
+}
+
+TEST(BufferModel, SmtMatchesTable1)
+{
+    // Table 1: SA-SMT = 16 B operands (T2Q2 FIFOs) + 4 B accum.
+    const BufferBreakdown b = bufferModel(ArrayConfig::saSmt(2));
+    EXPECT_DOUBLE_EQ(b.fifo_bytes_per_mac, 16.0);
+    EXPECT_DOUBLE_EQ(b.accum_bytes_per_mac, 4.0);
+    // Deeper FIFO costs proportionally more.
+    const BufferBreakdown b4 = bufferModel(ArrayConfig::saSmt(4));
+    EXPECT_DOUBLE_EQ(b4.fifo_bytes_per_mac, 32.0);
+}
+
+TEST(BufferModel, S2taWTpeReuseShrinksBuffers)
+{
+    const BufferBreakdown b = bufferModel(ArrayConfig::s2taW());
+    // 4x8x4 TPE: (4*8 + 4*5) / 64 MACs operands; 4*4*4 / 64 accum.
+    EXPECT_NEAR(b.operand_bytes_per_mac, 52.0 / 64.0, 1e-12);
+    EXPECT_NEAR(b.accum_bytes_per_mac, 1.0, 1e-12);
+    // Order of magnitude below the scalar SA, as Table 1 shows.
+    EXPECT_LT(b.totalPerMac(), 2.0);
+}
+
+TEST(BufferModel, S2taAwMatchesTable1Shape)
+{
+    const BufferBreakdown b = bufferModel(ArrayConfig::s2taAw(4));
+    // 8x4x4 TPE: (8*2 + 4*5) / 32 MACs operands; 4 B accum per MAC.
+    EXPECT_NEAR(b.operand_bytes_per_mac, 36.0 / 32.0, 1e-12);
+    EXPECT_DOUBLE_EQ(b.accum_bytes_per_mac, 4.0);
+    EXPECT_NEAR(b.totalPerMac(), 5.125, 1e-12);
+}
+
+TEST(BufferModel, PaperOrderingHolds)
+{
+    // The headline of Table 1: SMT >> SA > S2TA-W, and S2TA-AW sits
+    // between SA and SMT (its accumulators are per-MAC again).
+    const double smt = bufferModel(ArrayConfig::saSmt(2)).totalPerMac();
+    const double sa = bufferModel(ArrayConfig::sa()).totalPerMac();
+    const double w = bufferModel(ArrayConfig::s2taW()).totalPerMac();
+    const double aw = bufferModel(ArrayConfig::s2taAw(4)).totalPerMac();
+    EXPECT_GT(smt, sa);
+    EXPECT_GT(sa, w);
+    EXPECT_LT(aw, smt);
+    EXPECT_GT(smt / w, 10.0);
+}
+
+TEST(BufferModel, TotalBytesScalesWithMacs)
+{
+    const ArrayConfig cfg = ArrayConfig::sa();
+    const BufferBreakdown b = bufferModel(cfg);
+    EXPECT_DOUBLE_EQ(b.totalBytes(cfg.totalMacs()), 6.0 * 2048);
+}
+
+} // anonymous namespace
+} // namespace s2ta

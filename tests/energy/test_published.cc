@@ -1,0 +1,81 @@
+/** @file Consistency checks on the published constants quoted from
+ *  the paper (they feed the comparison benches). */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "energy/published.hh"
+
+namespace s2ta {
+namespace {
+
+TEST(Published, Table1TotalsAreOperandPlusAccum)
+{
+    for (const auto &row : published::kTable1) {
+        // SparTen's paper total (0.99 KB) is quoted as 1013.76 B;
+        // allow the rounding the paper itself applies.
+        EXPECT_NEAR(row.operand_bytes + row.accum_bytes,
+                    row.total_bytes, row.total_bytes * 0.05)
+            << row.name;
+    }
+}
+
+TEST(Published, Table1OrderingMatchesPaperNarrative)
+{
+    // SCNN > SparTen > Eyeriss v2 >> SA-SMT > SA > S2TA designs.
+    double prev = 1e18;
+    for (size_t i = 0; i < 5; ++i) {
+        EXPECT_LT(published::kTable1[i].total_bytes, prev)
+            << published::kTable1[i].name;
+        prev = published::kTable1[i].total_bytes;
+    }
+}
+
+TEST(Published, Fig12SeriesSumToStatedTotals)
+{
+    for (const auto &series :
+         {published::kFig12EyerissV2, published::kFig12SparTen}) {
+        const double sum =
+            std::accumulate(series.conv_uj.begin(),
+                            series.conv_uj.end(), 0.0);
+        EXPECT_NEAR(sum, series.total_uj, series.total_uj * 0.05)
+            << series.name;
+    }
+}
+
+TEST(Published, Table2SumsToPaperTotals)
+{
+    double power = 0.0, area = 0.0;
+    for (const auto &row : published::kTable2) {
+        power += row.power_mw;
+        area += row.area_mm2;
+    }
+    EXPECT_NEAR(power, 541.3, 1.0);
+    EXPECT_NEAR(area, 3.77, 0.01);
+}
+
+TEST(Published, Table3PrunedNeverBeatsBaselineByMuch)
+{
+    // Sanity on transcription: pruned accuracy sits within a few
+    // points of baseline (the paper's VGG row is slightly above).
+    for (const auto &row : published::kTable3) {
+        EXPECT_GT(row.pruned_pct, row.baseline_pct - 3.0)
+            << row.model;
+        EXPECT_LT(row.pruned_pct, row.baseline_pct + 1.0)
+            << row.model;
+    }
+}
+
+TEST(Published, ComparatorsCiteSources)
+{
+    EXPECT_NE(std::string(published::kSparTen.source).find("Table 4"),
+              std::string::npos);
+    EXPECT_NE(
+        std::string(published::kEyerissV2.source).find("Table 4"),
+        std::string::npos);
+    EXPECT_GT(published::kA100.peak_tops_per_w, 0.0);
+}
+
+} // anonymous namespace
+} // namespace s2ta

@@ -1,0 +1,108 @@
+/** @file Sanity tests for the CNN layer-shape tables. */
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.hh"
+
+namespace s2ta {
+namespace {
+
+TEST(ModelZoo, AlexNetGeometry)
+{
+    const ModelSpec m = alexNet();
+    ASSERT_EQ(m.layers.size(), 8u); // 5 conv + 3 fc
+    EXPECT_EQ(m.layers[0].shape.outH(), 55);
+    EXPECT_EQ(m.layers[0].shape.out_c, 96);
+    EXPECT_EQ(m.layers[4].shape.out_c, 256);
+    EXPECT_EQ(m.layers[5].shape.in_c, 256 * 6 * 6);
+    EXPECT_EQ(m.layers[7].shape.out_c, 1000);
+    // Two-tower (grouped) AlexNet convolutions: the classic ~666
+    // MMACs.
+    EXPECT_GT(m.convMacs(), 600ll * 1000 * 1000);
+    EXPECT_LT(m.convMacs(), 750ll * 1000 * 1000);
+    EXPECT_EQ(m.layers[1].shape.groups, 2); // conv2 is 2-group
+}
+
+TEST(ModelZoo, Vgg16Geometry)
+{
+    const ModelSpec m = vgg16();
+    ASSERT_EQ(m.layers.size(), 16u); // 13 conv + 3 fc
+    EXPECT_EQ(m.layers[12].shape.outH(), 14);
+    EXPECT_EQ(m.layers[13].shape.in_c, 512 * 7 * 7);
+    // The canonical ~15.3 GMACs of VGG-16 convolutions.
+    EXPECT_GT(m.convMacs(), 14ll * 1000 * 1000 * 1000);
+    EXPECT_LT(m.convMacs(), 16ll * 1000 * 1000 * 1000);
+}
+
+TEST(ModelZoo, MobileNetV1Geometry)
+{
+    const ModelSpec m = mobileNetV1();
+    ASSERT_EQ(m.layers.size(), 28u); // conv1 + 13*(dw+pw) + fc
+    int dw = 0, pw = 0;
+    for (const ModelLayer &l : m.layers) {
+        dw += l.kind == LayerKind::Depthwise;
+        pw += l.kind == LayerKind::Pointwise;
+    }
+    EXPECT_EQ(dw, 13);
+    EXPECT_EQ(pw, 13);
+    // The canonical ~569 MMACs of MobileNetV1 1.0-224.
+    EXPECT_GT(m.totalMacs(), 520ll * 1000 * 1000);
+    EXPECT_LT(m.totalMacs(), 620ll * 1000 * 1000);
+    // Depthwise shapes are grouped per channel.
+    for (const ModelLayer &l : m.layers) {
+        if (l.kind == LayerKind::Depthwise) {
+            EXPECT_EQ(l.shape.groups, l.shape.in_c);
+            EXPECT_EQ(l.shape.out_c, l.shape.in_c);
+        }
+    }
+}
+
+TEST(ModelZoo, ResNet50Geometry)
+{
+    const ModelSpec m = resNet50();
+    // 1 stem + 4 projections + 16 blocks x 3 convs + fc = 54.
+    ASSERT_EQ(m.layers.size(), 54u);
+    // The canonical ~3.8-4.1 GMACs of ResNet-50.
+    EXPECT_GT(m.totalMacs(), 3500ll * 1000 * 1000);
+    EXPECT_LT(m.totalMacs(), 4300ll * 1000 * 1000);
+    // Stage transitions halve resolution and set channel widths.
+    const ModelLayer &last = m.layers[m.layers.size() - 2];
+    EXPECT_EQ(last.shape.outH(), 7);
+    EXPECT_EQ(last.shape.out_c, 2048);
+}
+
+TEST(ModelZoo, LeNet5Geometry)
+{
+    const ModelSpec m = leNet5();
+    ASSERT_EQ(m.layers.size(), 5u);
+    EXPECT_EQ(m.layers[1].shape.outH(), 10);
+    EXPECT_EQ(m.layers[2].shape.in_c, 400); // 5*5*16
+    EXPECT_EQ(m.layers[4].shape.out_c, 10);
+}
+
+TEST(ModelZoo, AllShapesValidAndChained)
+{
+    for (const ModelSpec &m :
+         {alexNet(), vgg16(), mobileNetV1(), resNet50(), leNet5()}) {
+        for (const ModelLayer &l : m.layers) {
+            EXPECT_TRUE(l.shape.valid())
+                << m.name << "/" << l.name;
+            EXPECT_GT(l.shape.denseMacs(), 0)
+                << m.name << "/" << l.name;
+        }
+        EXPECT_GT(m.totalWeights(), 0);
+    }
+}
+
+TEST(ModelZoo, BenchmarkModelsMatchPaperSet)
+{
+    const auto models = benchmarkModels();
+    ASSERT_EQ(models.size(), 4u);
+    EXPECT_EQ(models[0].name, "ResNet-50V1");
+    EXPECT_EQ(models[1].name, "VGG-16");
+    EXPECT_EQ(models[2].name, "MobileNetV1");
+    EXPECT_EQ(models[3].name, "AlexNet");
+}
+
+} // anonymous namespace
+} // namespace s2ta

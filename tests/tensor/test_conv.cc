@@ -1,0 +1,130 @@
+/** @file Direct convolution vs im2col+GEMM equivalence tests. */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "base/random.hh"
+#include "tensor/conv.hh"
+
+namespace s2ta {
+namespace {
+
+/** Fill a tensor with ~50% random non-zeros. */
+void
+randomFill(Int8Tensor &t, Rng &rng)
+{
+    for (int64_t i = 0; i < t.size(); ++i)
+        t.flat(i) = rng.bernoulli(0.5) ? rng.nonZeroInt8() : 0;
+}
+
+Int32Tensor
+viaIm2col(const Conv2dShape &shape, const Int8Tensor &input,
+          const Int8Tensor &weights, int align)
+{
+    Int32Tensor out({shape.outH(), shape.outW(), shape.out_c}, 0);
+    for (int g = 0; g < shape.groups; ++g) {
+        const GemmProblem p =
+            im2colLower(shape, input, weights, g, align);
+        scatterGemmResult(shape, g, gemmReference(p), out);
+    }
+    return out;
+}
+
+TEST(ConvShape, OutputGeometry)
+{
+    Conv2dShape s{3, 227, 227, 96, 11, 11, 4, 0, 1};
+    EXPECT_TRUE(s.valid());
+    EXPECT_EQ(s.outH(), 55);
+    EXPECT_EQ(s.outW(), 55);
+    EXPECT_EQ(s.denseMacs(),
+              55ll * 55 * 96 * 11 * 11 * 3);
+}
+
+TEST(ConvShape, DepthwiseGrouping)
+{
+    Conv2dShape s{32, 14, 14, 32, 3, 3, 1, 1, 32};
+    EXPECT_TRUE(s.valid());
+    EXPECT_EQ(s.groupInC(), 1);
+    EXPECT_EQ(s.groupOutC(), 1);
+}
+
+TEST(ConvShape, InvalidShapesRejected)
+{
+    Conv2dShape s{3, 8, 8, 16, 3, 3, 1, 1, 2}; // in_c % groups != 0
+    EXPECT_FALSE(s.valid());
+    Conv2dShape z{0, 8, 8, 16, 3, 3, 1, 1, 1};
+    EXPECT_FALSE(z.valid());
+}
+
+/** (in_c, size, out_c, kernel, stride, pad, groups, align). */
+using ConvCase = std::tuple<int, int, int, int, int, int, int, int>;
+
+class ConvEquivalence : public ::testing::TestWithParam<ConvCase>
+{
+};
+
+TEST_P(ConvEquivalence, Im2colMatchesDirect)
+{
+    const auto [in_c, size, out_c, kernel, stride, pad, groups,
+                align] = GetParam();
+    Conv2dShape shape{in_c, size, size, out_c, kernel, kernel,
+                      stride, pad, groups};
+    ASSERT_TRUE(shape.valid());
+
+    Rng rng(static_cast<uint64_t>(in_c * 131 + size * 17 + kernel));
+    Int8Tensor input({shape.in_h, shape.in_w, shape.in_c});
+    Int8Tensor weights({shape.kernel_h, shape.kernel_w,
+                        shape.groupInC(), shape.out_c});
+    randomFill(input, rng);
+    randomFill(weights, rng);
+
+    const Int32Tensor direct = convReference(shape, input, weights);
+    const Int32Tensor lowered =
+        viaIm2col(shape, input, weights, align);
+    EXPECT_TRUE(direct == lowered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvEquivalence,
+    ::testing::Values(
+        // 1x1 pointwise
+        ConvCase{16, 6, 24, 1, 1, 0, 1, 8},
+        // 3x3 same-pad
+        ConvCase{8, 9, 12, 3, 1, 1, 1, 8},
+        // channel count not a multiple of the alignment
+        ConvCase{5, 7, 9, 3, 1, 1, 1, 8},
+        // strided, no padding
+        ConvCase{3, 11, 7, 3, 2, 0, 1, 8},
+        // large kernel, big stride (AlexNet conv1 style)
+        ConvCase{3, 23, 8, 11, 4, 0, 1, 8},
+        // depthwise
+        ConvCase{16, 8, 16, 3, 1, 1, 16, 8},
+        // grouped (2 groups)
+        ConvCase{8, 6, 12, 3, 1, 1, 2, 8},
+        // no channel alignment (dense baselines)
+        ConvCase{5, 7, 9, 3, 1, 1, 1, 1},
+        // stride 2 with pad
+        ConvCase{12, 10, 6, 3, 2, 1, 1, 8}));
+
+TEST(Im2col, PadsChannelSegmentsToAlignment)
+{
+    Conv2dShape shape{3, 4, 4, 2, 3, 3, 1, 1, 1};
+    Int8Tensor input({4, 4, 3}, 1);
+    Int8Tensor weights({3, 3, 3, 2}, 1);
+    const GemmProblem p = im2colLower(shape, input, weights, 0, 8);
+    // Each of the 9 kernel taps gets an 8-aligned channel segment.
+    EXPECT_EQ(p.k, 9 * 8);
+    EXPECT_EQ(p.m, 16);
+    EXPECT_EQ(p.n, 2);
+    // Padding positions must be zero in both operands.
+    for (int tap = 0; tap < 9; ++tap) {
+        for (int c = 3; c < 8; ++c) {
+            EXPECT_EQ(p.wgtAt(tap * 8 + c, 0), 0);
+            EXPECT_EQ(p.actAt(5, tap * 8 + c), 0);
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace s2ta

@@ -1,0 +1,89 @@
+/** @file Unit tests for the GEMM container and golden kernel. */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "tensor/gemm.hh"
+
+namespace s2ta {
+namespace {
+
+TEST(Gemm, IdentityWeightCopiesActivations)
+{
+    const int n = 4;
+    GemmProblem p(3, n, n);
+    Rng rng(1);
+    for (int i = 0; i < p.m; ++i)
+        for (int kk = 0; kk < p.k; ++kk)
+            p.actAt(i, kk) = rng.nonZeroInt8();
+    for (int d = 0; d < n; ++d)
+        p.wgtAt(d, d) = 1;
+
+    const auto c = gemmReference(p);
+    for (int i = 0; i < p.m; ++i)
+        for (int j = 0; j < p.n; ++j)
+            EXPECT_EQ(c[static_cast<size_t>(i) * p.n + j],
+                      p.actAt(i, j));
+}
+
+TEST(Gemm, MatchesNaiveTripleLoop)
+{
+    Rng rng(2);
+    GemmProblem p(7, 16, 5);
+    for (auto &v : p.a)
+        v = static_cast<int8_t>(rng.uniformInt(-128, 127));
+    for (auto &v : p.w)
+        v = static_cast<int8_t>(rng.uniformInt(-128, 127));
+
+    const auto c = gemmReference(p);
+    for (int i = 0; i < p.m; ++i) {
+        for (int j = 0; j < p.n; ++j) {
+            int32_t acc = 0;
+            for (int kk = 0; kk < p.k; ++kk)
+                acc += static_cast<int32_t>(p.actAt(i, kk)) *
+                       p.wgtAt(kk, j);
+            EXPECT_EQ(c[static_cast<size_t>(i) * p.n + j], acc);
+        }
+    }
+}
+
+TEST(Gemm, WorstCaseAccumulationFitsInt32)
+{
+    // The deepest K in the model zoo is ~25088 (VGG fc6); the
+    // worst-case products sum to 25088 * 128 * 128 < 2^31, so
+    // INT32 accumulators never overflow.
+    GemmProblem p(1, 25088, 1);
+    for (auto &v : p.a)
+        v = -128;
+    for (auto &v : p.w)
+        v = -128;
+    const auto c = gemmReference(p);
+    EXPECT_EQ(c[0], 25088 * 128 * 128);
+    EXPECT_GT(c[0], 0); // no wraparound
+}
+
+TEST(Gemm, SparsityFractions)
+{
+    GemmProblem p(2, 4, 2);
+    // 8 activation elements, set 2 non-zero -> sparsity 0.75.
+    p.actAt(0, 0) = 5;
+    p.actAt(1, 3) = -9;
+    EXPECT_DOUBLE_EQ(p.actSparsity(), 0.75);
+    EXPECT_DOUBLE_EQ(p.wgtSparsity(), 1.0);
+    p.wgtAt(0, 0) = 1;
+    EXPECT_DOUBLE_EQ(p.wgtSparsity(), 7.0 / 8.0);
+}
+
+TEST(Gemm, DenseMacs)
+{
+    GemmProblem p(3, 8, 5);
+    EXPECT_EQ(p.denseMacs(), 3 * 8 * 5);
+}
+
+TEST(GemmDeath, BadDimsFatal)
+{
+    EXPECT_DEATH(GemmProblem(0, 8, 4), "bad GEMM dims");
+}
+
+} // anonymous namespace
+} // namespace s2ta

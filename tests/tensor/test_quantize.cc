@@ -1,0 +1,78 @@
+/** @file Unit tests for symmetric INT8 quantization. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/random.hh"
+#include "tensor/quantize.hh"
+
+namespace s2ta {
+namespace {
+
+TEST(Quantize, ScaleIsMaxAbsOver127)
+{
+    FloatTensor t({4});
+    t(0) = 0.5f;
+    t(1) = -2.54f;
+    t(2) = 1.0f;
+    t(3) = 0.0f;
+    EXPECT_FLOAT_EQ(computeScale(t), 2.54f / 127.0f);
+}
+
+TEST(Quantize, AllZeroTensorGetsUnitScale)
+{
+    FloatTensor t({8});
+    EXPECT_FLOAT_EQ(computeScale(t), 1.0f);
+}
+
+TEST(Quantize, ExtremesMapToPlusMinus127)
+{
+    FloatTensor t({2});
+    t(0) = 10.0f;
+    t(1) = -10.0f;
+    const QuantizedTensor q = quantize(t);
+    EXPECT_EQ(q.values(0), 127);
+    EXPECT_EQ(q.values(1), -127);
+}
+
+TEST(Quantize, ZerosStayExactlyZero)
+{
+    // Symmetric quantization must keep zeros exact, otherwise
+    // sparsity would be destroyed by quantization.
+    FloatTensor t({3});
+    t(0) = 0.0f;
+    t(1) = 3.0f;
+    t(2) = 0.0f;
+    const QuantizedTensor q = quantize(t);
+    EXPECT_EQ(q.values(0), 0);
+    EXPECT_EQ(q.values(2), 0);
+}
+
+TEST(Quantize, RoundTripErrorBoundedByHalfStep)
+{
+    Rng rng(5);
+    FloatTensor t({256});
+    for (int64_t i = 0; i < t.size(); ++i)
+        t.flat(i) = static_cast<float>(rng.normal(0.0, 1.0));
+    const QuantizedTensor q = quantize(t);
+    const FloatTensor back = dequantize(q);
+    for (int64_t i = 0; i < t.size(); ++i) {
+        EXPECT_LE(std::fabs(back.flat(i) - t.flat(i)),
+                  q.scale * 0.5f + 1e-6f)
+            << "element " << i;
+    }
+}
+
+TEST(Quantize, ExplicitScaleClamps)
+{
+    FloatTensor t({2});
+    t(0) = 100.0f;
+    t(1) = -100.0f;
+    const QuantizedTensor q = quantizeWithScale(t, 0.1f);
+    EXPECT_EQ(q.values(0), 127);  // clamped
+    EXPECT_EQ(q.values(1), -127); // clamped symmetric
+}
+
+} // anonymous namespace
+} // namespace s2ta

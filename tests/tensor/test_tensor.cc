@@ -1,0 +1,91 @@
+/** @file Unit tests for the dense Tensor container. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hh"
+
+namespace s2ta {
+namespace {
+
+TEST(Tensor, ConstructsWithShapeAndInit)
+{
+    Int8Tensor t({2, 3, 4}, 7);
+    EXPECT_EQ(t.rank(), 3);
+    EXPECT_EQ(t.dim(0), 2);
+    EXPECT_EQ(t.dim(1), 3);
+    EXPECT_EQ(t.dim(2), 4);
+    EXPECT_EQ(t.size(), 24);
+    for (int64_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t.flat(i), 7);
+}
+
+TEST(Tensor, RowMajorLayout)
+{
+    Int32Tensor t({2, 3, 4});
+    int32_t v = 0;
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 3; ++j)
+            for (int k = 0; k < 4; ++k)
+                t(i, j, k) = v++;
+    // The innermost index is contiguous.
+    for (int64_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t.flat(i), static_cast<int32_t>(i));
+}
+
+TEST(Tensor, MultiIndexAccessReadsBack)
+{
+    FloatTensor t({3, 5});
+    t(2, 4) = 1.5f;
+    t(0, 0) = -2.0f;
+    EXPECT_FLOAT_EQ(t(2, 4), 1.5f);
+    EXPECT_FLOAT_EQ(t(0, 0), -2.0f);
+    EXPECT_FLOAT_EQ(t(1, 3), 0.0f);
+}
+
+TEST(Tensor, FillOverwritesAll)
+{
+    FloatTensor t({4, 4});
+    t.fill(3.0f);
+    for (int64_t i = 0; i < t.size(); ++i)
+        EXPECT_FLOAT_EQ(t.flat(i), 3.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Int32Tensor t({2, 6});
+    for (int64_t i = 0; i < t.size(); ++i)
+        t.flat(i) = static_cast<int32_t>(i * 3);
+    t.reshape({3, 4});
+    EXPECT_EQ(t.rank(), 2);
+    EXPECT_EQ(t.dim(0), 3);
+    EXPECT_EQ(t.dim(1), 4);
+    for (int64_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t.flat(i), static_cast<int32_t>(i * 3));
+}
+
+TEST(Tensor, EqualityComparesShapeAndData)
+{
+    Int8Tensor a({2, 2}, 1);
+    Int8Tensor b({2, 2}, 1);
+    EXPECT_TRUE(a == b);
+    b(1, 1) = 2;
+    EXPECT_FALSE(a == b);
+    Int8Tensor c({4}, 1);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(TensorDeath, OutOfBoundsIndexPanics)
+{
+    Int8Tensor t({2, 2});
+    EXPECT_DEATH(t(2, 0), "out of bound");
+    EXPECT_DEATH(t.flat(4), "flat index");
+}
+
+TEST(TensorDeath, BadReshapePanics)
+{
+    Int8Tensor t({2, 2});
+    EXPECT_DEATH(t.reshape({3, 2}), "reshape");
+}
+
+} // anonymous namespace
+} // namespace s2ta
