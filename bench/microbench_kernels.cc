@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "arch/gemm_plan.hh"
 #include "arch/models.hh"
 #include "core/dap.hh"
 #include "core/dbb.hh"
@@ -50,6 +51,58 @@ BM_OperandProfile(benchmark::State &state)
          * p.n));
 }
 BENCHMARK(BM_OperandProfile)->Unit(benchmark::kMicrosecond);
+
+void
+BM_OperandProfileFromDbb(benchmark::State &state)
+{
+    const GemmProblem &p = sharedProblem();
+    const GemmPlan plan = GemmPlan::build(p);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            OperandProfile::fromDbb(p, plan.act(), plan.wgt()));
+    state.SetItemsProcessed(
+        state.iterations() *
+        (static_cast<int64_t>(p.m) * p.k + static_cast<int64_t>(p.k)
+         * p.n));
+}
+BENCHMARK(BM_OperandProfileFromDbb)->Unit(benchmark::kMicrosecond);
+
+void
+BM_GemmPlanBuild(benchmark::State &state)
+{
+    const GemmProblem &p = sharedProblem();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(GemmPlan::build(p));
+    state.SetBytesProcessed(
+        state.iterations() *
+        (static_cast<int64_t>(p.m) * p.k + static_cast<int64_t>(p.k)
+         * p.n));
+}
+BENCHMARK(BM_GemmPlanBuild)->Unit(benchmark::kMicrosecond);
+
+void
+BM_MaskIntersectGemm(benchmark::State &state)
+{
+    // The DBB-native functional kernel on the same GEMM as
+    // BM_GemmReference: the headline per-element vs mask-intersect
+    // comparison.
+    const GemmProblem &p = sharedProblem();
+    const GemmPlan plan = GemmPlan::build(p);
+    std::vector<int32_t> out(static_cast<size_t>(p.m) * p.n);
+    const int nb = plan.act().blocksPerVector();
+    for (auto _ : state) {
+        for (int i = 0; i < p.m; ++i) {
+            const DbbBlock *arow = plan.act().vectorBlocks(i);
+            int32_t *orow = &out[static_cast<size_t>(i) * p.n];
+            for (int j = 0; j < p.n; ++j)
+                orow[j] =
+                    dbbDotRow(arow, plan.wgt().vectorBlocks(j), nb);
+        }
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * p.denseMacs());
+}
+BENCHMARK(BM_MaskIntersectGemm)->Unit(benchmark::kMillisecond);
 
 void
 BM_DbbEncodeDecode(benchmark::State &state)
@@ -110,6 +163,7 @@ void
 BM_SimulateArch(benchmark::State &state)
 {
     const auto kind = static_cast<ArchKind>(state.range(0));
+    const auto engine = static_cast<EngineKind>(state.range(1));
     ArrayConfig cfg;
     switch (kind) {
       case ArchKind::Sa:     cfg = ArrayConfig::sa(); break;
@@ -123,13 +177,42 @@ BM_SimulateArch(benchmark::State &state)
     const auto model = makeArrayModel(cfg);
     RunOptions opt;
     opt.compute_output = false;
+    opt.engine = engine;
     for (auto _ : state)
         benchmark::DoNotOptimize(model->run(p, opt));
-    state.SetLabel(cfg.name());
+    state.SetLabel(cfg.name() +
+                   (engine == EngineKind::Scalar ? " scalar"
+                                                 : " dbb-fast"));
     state.SetItemsProcessed(state.iterations() * p.denseMacs());
 }
 BENCHMARK(BM_SimulateArch)
-    ->DenseRange(0, 4, 1)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 4, 1),
+                   {static_cast<int>(EngineKind::Scalar),
+                    static_cast<int>(EngineKind::DbbFast)}})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulateFunctional(benchmark::State &state)
+{
+    // Whole-GEMM simulation including the functional output: this
+    // is the path bench_engine_throughput measures end to end.
+    const auto engine = static_cast<EngineKind>(state.range(0));
+    Rng rng(12);
+    GemmProblem p = makeDbbGemm(256, 1152, 128, 4, 4, rng);
+    const auto model = makeArrayModel(ArrayConfig::s2taAw(4));
+    RunOptions opt;
+    opt.compute_output = true;
+    opt.engine = engine;
+    opt.validate_operands = false;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model->run(p, opt));
+    state.SetLabel(engine == EngineKind::Scalar ? "scalar"
+                                                : "dbb-fast");
+    state.SetItemsProcessed(state.iterations() * p.denseMacs());
+}
+BENCHMARK(BM_SimulateFunctional)
+    ->Arg(static_cast<int>(EngineKind::Scalar))
+    ->Arg(static_cast<int>(EngineKind::DbbFast))
     ->Unit(benchmark::kMillisecond);
 
 } // anonymous namespace

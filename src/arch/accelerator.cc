@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/thread_pool.hh"
 #include "core/dap.hh"
 
 namespace s2ta {
@@ -22,6 +23,29 @@ Accelerator::Accelerator(AcceleratorConfig cfg_) : cfg(cfg_)
         s2ta_fatal("non-positive SRAM size");
     if (cfg.dma_bytes_per_cycle <= 0.0)
         s2ta_fatal("non-positive DMA bandwidth");
+    if (cfg.sim_threads < 0)
+        s2ta_fatal("negative sim_threads %d", cfg.sim_threads);
+    if (cfg.sim_threads > 1) {
+        // Dedicated pool of exactly sim_threads lanes (the calling
+        // thread is one of them).
+        own_pool = std::make_unique<ThreadPool>(cfg.sim_threads - 1);
+    }
+}
+
+Accelerator::~Accelerator() = default;
+
+void
+Accelerator::runIndexed(int64_t n,
+                        const std::function<void(int64_t)> &fn) const
+{
+    if (cfg.sim_threads == 1) {
+        for (int64_t i = 0; i < n; ++i)
+            fn(i);
+    } else if (own_pool) {
+        own_pool->parallelFor(n, fn);
+    } else {
+        ThreadPool::global().parallelFor(n, fn);
+    }
 }
 
 int
@@ -35,8 +59,9 @@ Accelerator::channelAlign() const
 
 LayerRun
 Accelerator::runLayer(const LayerWorkload &wl,
-                      bool compute_output) const
+                      const NetworkRunOptions &opt) const
 {
+    const bool compute_output = opt.compute_output;
     s2ta_assert(wl.shape.valid(), "invalid shape for layer '%s'",
                 wl.name.c_str());
 
@@ -63,21 +88,33 @@ Accelerator::runLayer(const LayerWorkload &wl,
     }
     const auto model = makeArrayModel(acfg);
 
-    RunOptions opt;
-    opt.compute_output = compute_output;
+    const RunOptions &gemm_opt = opt;
 
     if (compute_output) {
         lr.output = Int32Tensor(
             {wl.shape.outH(), wl.shape.outW(), wl.shape.out_c}, 0);
     }
 
-    for (int g = 0; g < wl.shape.groups; ++g) {
-        GemmProblem p = im2colLower(wl.shape, wl.input, wl.weights,
-                                    g, channelAlign());
-        GemmRun run = model->run(p, opt);
-        lr.events.add(run.events);
-        if (compute_output)
-            scatterGemmResult(wl.shape, g, run.output, lr.output);
+    // Each group lowers to an independent GEMM whose plan (encoding
+    // + profile) is built once and reused across the whole tile
+    // grid; grouped layers fan out across the simulation threads.
+    // Events are folded in group order for bitwise determinism.
+    const int groups = wl.shape.groups;
+    std::vector<GemmRun> runs(static_cast<size_t>(groups));
+    const auto run_group = [&](int64_t g) {
+        const GemmProblem p =
+            im2colLower(wl.shape, wl.input, wl.weights,
+                        static_cast<int>(g), channelAlign());
+        runs[static_cast<size_t>(g)] = model->run(p, gemm_opt);
+    };
+    runIndexed(groups, run_group);
+    for (int g = 0; g < groups; ++g) {
+        lr.events.add(runs[static_cast<size_t>(g)].events);
+        if (compute_output) {
+            scatterGemmResult(wl.shape, g,
+                              runs[static_cast<size_t>(g)].output,
+                              lr.output);
+        }
     }
 
     // The DAP array prunes the input tensor once as it is written to
@@ -173,11 +210,20 @@ Accelerator::runLayer(const LayerWorkload &wl,
 
 NetworkRun
 Accelerator::runNetwork(const std::vector<LayerWorkload> &layers,
-                        bool compute_output) const
+                        const NetworkRunOptions &opt) const
 {
+    // Layers are independent simulations; fan them out and fold the
+    // results in layer order so totals are bitwise identical to the
+    // serial run.
+    std::vector<LayerRun> runs(layers.size());
+    const auto run_one = [&](int64_t i) {
+        runs[static_cast<size_t>(i)] =
+            runLayer(layers[static_cast<size_t>(i)], opt);
+    };
+    runIndexed(static_cast<int64_t>(layers.size()), run_one);
     NetworkRun nr;
-    for (const LayerWorkload &wl : layers)
-        nr.add(runLayer(wl, compute_output));
+    for (LayerRun &lr : runs)
+        nr.add(std::move(lr));
     return nr;
 }
 

@@ -9,6 +9,8 @@
 #ifndef S2TA_ARCH_ACCELERATOR_HH
 #define S2TA_ARCH_ACCELERATOR_HH
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,8 @@
 #include "tensor/tensor.hh"
 
 namespace s2ta {
+
+class ThreadPool;
 
 /** System-level configuration around the array. */
 struct AcceleratorConfig
@@ -32,6 +36,25 @@ struct AcceleratorConfig
     int mcu_count = 4;
     /** Activation-function elements one MCU handles per cycle. */
     double mcu_elems_per_cycle = 8.0;
+    /**
+     * Simulation threads for runNetwork/runLayer: 0 = one lane per
+     * hardware thread (the process-wide pool), 1 = serial, N > 1 =
+     * a dedicated pool of exactly N lanes. Results are bitwise
+     * identical in all cases (per-layer and per-group results are
+     * reduced in order).
+     */
+    int sim_threads = 0;
+};
+
+/**
+ * Per-run options for layer and network simulation: the GEMM-level
+ * RunOptions knobs (engine, validation, SMT sampling seed, ...)
+ * with the functional output off by default — network sweeps are
+ * usually events-only.
+ */
+struct NetworkRunOptions : RunOptions
+{
+    NetworkRunOptions() { compute_output = false; }
 };
 
 /**
@@ -93,28 +116,58 @@ class Accelerator
 {
   public:
     explicit Accelerator(AcceleratorConfig cfg);
+    ~Accelerator();
 
     const AcceleratorConfig &config() const { return cfg; }
 
     /**
      * Simulate one convolution (or FC, expressed as 1x1 conv) layer.
-     *
-     * @param wl the layer and its operands.
-     * @param compute_output also compute the functional INT32 conv
-     *        result through the array datapath (slower).
+     * Grouped layers fan their per-group GEMMs out across the
+     * simulation threads; the per-group events are reduced in group
+     * order, so results match the serial run bit for bit.
      */
     LayerRun runLayer(const LayerWorkload &wl,
-                      bool compute_output = false) const;
+                      const NetworkRunOptions &opt) const;
 
-    /** Simulate a sequence of layers and accumulate totals. */
+    /** Convenience overload matching the original API. */
+    LayerRun
+    runLayer(const LayerWorkload &wl,
+             bool compute_output = false) const
+    {
+        NetworkRunOptions opt;
+        opt.compute_output = compute_output;
+        return runLayer(wl, opt);
+    }
+
+    /**
+     * Simulate a sequence of layers and accumulate totals. Layers
+     * run concurrently across the simulation threads; totals are
+     * folded in layer order (bitwise identical to serial).
+     */
     NetworkRun runNetwork(const std::vector<LayerWorkload> &layers,
-                          bool compute_output = false) const;
+                          const NetworkRunOptions &opt) const;
+
+    /** Convenience overload matching the original API. */
+    NetworkRun
+    runNetwork(const std::vector<LayerWorkload> &layers,
+               bool compute_output = false) const
+    {
+        NetworkRunOptions opt;
+        opt.compute_output = compute_output;
+        return runNetwork(layers, opt);
+    }
 
   private:
     /** DBB architectures need 8-aligned im2col channel segments. */
     int channelAlign() const;
 
+    /** Run fn(i) over [0, n) on the configured lane count. */
+    void runIndexed(int64_t n,
+                    const std::function<void(int64_t)> &fn) const;
+
     AcceleratorConfig cfg;
+    /** Dedicated pool when sim_threads > 1; else serial/global. */
+    std::unique_ptr<ThreadPool> own_pool;
 };
 
 } // namespace s2ta

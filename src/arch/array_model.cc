@@ -1,5 +1,9 @@
 #include "arch/array_model.hh"
 
+#include <algorithm>
+#include <span>
+
+#include "arch/gemm_plan.hh"
 #include "arch/models.hh"
 #include "core/dap.hh"
 #include "core/dbb.hh"
@@ -40,6 +44,59 @@ OperandProfile::build(const GemmProblem &p)
         prof.act_nnz += prof.row_nz[static_cast<size_t>(i)];
     for (int j = 0; j < p.n; ++j)
         prof.wgt_nnz += prof.col_nz[static_cast<size_t>(j)];
+    for (int kk = 0; kk < p.k; ++kk) {
+        prof.matched_products +=
+            static_cast<int64_t>(
+                prof.act_nz_at_k[static_cast<size_t>(kk)]) *
+            prof.wgt_nz_at_k[static_cast<size_t>(kk)];
+    }
+    return prof;
+}
+
+OperandProfile
+OperandProfile::fromDbb(const GemmProblem &p, const DbbMatrix &act,
+                        const DbbMatrix &wgt)
+{
+    OperandProfile prof;
+    prof.m = p.m;
+    prof.k = p.k;
+    prof.n = p.n;
+    prof.row_nz.assign(static_cast<size_t>(p.m), 0);
+    prof.col_nz.assign(static_cast<size_t>(p.n), 0);
+    prof.act_nz_at_k.assign(static_cast<size_t>(p.k), 0);
+    prof.wgt_nz_at_k.assign(static_cast<size_t>(p.k), 0);
+
+    // Per-vector counts from block popcounts, per-position counts
+    // from mask bit loops: O(blocks + nnz), no dense scan. Tail
+    // padding positions (>= k) are never set in any mask.
+    const int act_bz = act.spec().bz;
+    for (int i = 0; i < p.m; ++i) {
+        const DbbBlock *row = act.vectorBlocks(i);
+        int32_t nz = 0;
+        for (int b = 0; b < act.blocksPerVector(); ++b) {
+            nz += maskPopcount(row[b].mask);
+            for (Mask8 m = row[b].mask; m; m = maskClearLowest(m)) {
+                ++prof.act_nz_at_k[static_cast<size_t>(
+                    b * act_bz + maskLowestSetBit(m))];
+            }
+        }
+        prof.row_nz[static_cast<size_t>(i)] = nz;
+        prof.act_nnz += nz;
+    }
+    const int wgt_bz = wgt.spec().bz;
+    for (int j = 0; j < p.n; ++j) {
+        const DbbBlock *col = wgt.vectorBlocks(j);
+        int32_t nz = 0;
+        for (int b = 0; b < wgt.blocksPerVector(); ++b) {
+            nz += maskPopcount(col[b].mask);
+            for (Mask8 m = col[b].mask; m; m = maskClearLowest(m)) {
+                ++prof.wgt_nz_at_k[static_cast<size_t>(
+                    b * wgt_bz + maskLowestSetBit(m))];
+            }
+        }
+        prof.col_nz[static_cast<size_t>(j)] = nz;
+        prof.wgt_nnz += nz;
+    }
     for (int kk = 0; kk < p.k; ++kk) {
         prof.matched_products +=
             static_cast<int64_t>(
@@ -98,15 +155,26 @@ ArrayModel::checkOperands(const GemmProblem &p) const
     if (p.k % cfg.bz != 0)
         s2ta_fatal("%s requires K %% %d == 0 (K=%d)",
                    cfg.name().c_str(), cfg.bz, p.k);
+    const int bz = cfg.bz;
+    const int nblocks = p.k / bz;
 
-    // Weight blocks must satisfy the W-DBB bound.
-    std::vector<int8_t> tmp(static_cast<size_t>(cfg.bz));
-    for (int j = 0; j < p.n; ++j) {
-        for (int b = 0; b < p.k / cfg.bz; ++b) {
-            for (int e = 0; e < cfg.bz; ++e)
-                tmp[static_cast<size_t>(e)] =
-                    p.wgtAt(b * cfg.bz + e, j);
-            if (!dbbSatisfies(tmp, cfg.weight_dbb)) {
+    // Weight blocks must satisfy the W-DBB bound. Column blocks are
+    // strided in the K x N layout, so walk block-rows sequentially
+    // with one per-column non-zero counter array; no block copies.
+    std::vector<int16_t> col_cnt(static_cast<size_t>(p.n));
+    for (int b = 0; b < nblocks; ++b) {
+        std::fill(col_cnt.begin(), col_cnt.end(),
+                  static_cast<int16_t>(0));
+        for (int e = 0; e < bz; ++e) {
+            const int8_t *row =
+                &p.w[static_cast<size_t>(b * bz + e) * p.n];
+            for (int j = 0; j < p.n; ++j)
+                col_cnt[static_cast<size_t>(j)] +=
+                    (row[j] != 0);
+        }
+        for (int j = 0; j < p.n; ++j) {
+            if (col_cnt[static_cast<size_t>(j)] >
+                cfg.weight_dbb.nnz) {
                 s2ta_fatal("weight block (col %d, block %d) violates "
                            "%s; run pruneWeightsDbb first", j, b,
                            cfg.weight_dbb.toString().c_str());
@@ -114,15 +182,17 @@ ArrayModel::checkOperands(const GemmProblem &p) const
         }
     }
 
-    // Activation blocks must satisfy the per-layer A-DBB bound.
+    // Activation blocks must satisfy the per-layer A-DBB bound;
+    // row blocks are contiguous, so one span per row suffices.
     if (cfg.kind == ArchKind::S2taAw && cfg.act_nnz < cfg.bz) {
         const DbbSpec aspec{cfg.act_nnz, cfg.bz};
         for (int i = 0; i < p.m; ++i) {
-            for (int b = 0; b < p.k / cfg.bz; ++b) {
-                for (int e = 0; e < cfg.bz; ++e)
-                    tmp[static_cast<size_t>(e)] =
-                        p.actAt(i, b * cfg.bz + e);
-                if (!dbbSatisfies(tmp, aspec)) {
+            const std::span<const int8_t> row(
+                &p.a[static_cast<size_t>(i) * p.k],
+                static_cast<size_t>(p.k));
+            for (int b = 0; b < nblocks; ++b) {
+                if (!dbbSatisfies(row.subspan(
+                        static_cast<size_t>(b) * bz, bz), aspec)) {
                     s2ta_fatal("activation block (row %d, block %d) "
                                "violates %s; run DAP first", i, b,
                                aspec.toString().c_str());
@@ -132,13 +202,83 @@ ArrayModel::checkOperands(const GemmProblem &p) const
     }
 }
 
+void
+ArrayModel::checkPlan(const GemmPlan &plan) const
+{
+    const bool dbb_kind = cfg.kind == ArchKind::S2taW ||
+                          cfg.kind == ArchKind::S2taAw;
+    if (!dbb_kind)
+        return;
+    // K % bz geometry is enforced unconditionally by run(); this
+    // only covers the density bounds.
+    s2ta_assert(plan.bz() == cfg.bz,
+                "plan block size %d != config bz %d", plan.bz(),
+                cfg.bz);
+    plan.checkWeights(cfg.weight_dbb);
+    if (cfg.kind == ArchKind::S2taAw && cfg.act_nnz < cfg.bz)
+        plan.checkActivations(DbbSpec{cfg.act_nnz, cfg.bz});
+}
+
 GemmRun
 ArrayModel::run(const GemmProblem &p, const RunOptions &opt) const
 {
-    checkOperands(p);
+    if (opt.engine == EngineKind::Scalar) {
+        return run(GemmPlan::shallow(p), opt);
+    }
+    // The dense weight mirror only feeds the functional kernels;
+    // events-only runs skip building it.
+    return run(GemmPlan::build(p, cfg.bz, opt.compute_output), opt);
+}
+
+bool
+ArrayModel::usesScalarEngine(const GemmPlan &plan,
+                             const RunOptions &opt)
+{
+    return opt.engine == EngineKind::Scalar || !plan.encoded();
+}
+
+OperandProfile
+ArrayModel::profileFor(const GemmPlan &plan, const RunOptions &opt)
+{
+    return usesScalarEngine(plan, opt)
+               ? OperandProfile::build(plan.problem())
+               : plan.profile();
+}
+
+void
+ArrayModel::referenceOutput(const GemmPlan &plan, bool scalar,
+                            GemmRun &out)
+{
+    const GemmProblem &p = plan.problem();
+    if (scalar) {
+        out.output = gemmReference(p);
+        return;
+    }
+    out.output.assign(static_cast<size_t>(p.m) * p.n, 0);
+    dbbGemm(plan, out.output.data());
+}
+
+GemmRun
+ArrayModel::run(const GemmPlan &plan, const RunOptions &opt) const
+{
+    // Block geometry is a hard requirement of the DBB architectures
+    // (the scalar engine would silently truncate a ragged K tail),
+    // so it is enforced even when density validation is skipped.
+    if ((cfg.kind == ArchKind::S2taW ||
+         cfg.kind == ArchKind::S2taAw) &&
+        plan.problem().k % cfg.bz != 0) {
+        s2ta_fatal("%s requires K %% %d == 0 (K=%d)",
+                   cfg.name().c_str(), cfg.bz, plan.problem().k);
+    }
+    if (opt.validate_operands) {
+        if (plan.encoded())
+            checkPlan(plan);
+        else
+            checkOperands(plan.problem());
+    }
     GemmRun out;
-    out.events.logical_macs = p.denseMacs();
-    simulate(p, opt, out);
+    out.events.logical_macs = plan.problem().denseMacs();
+    simulate(plan, opt, out);
     return out;
 }
 

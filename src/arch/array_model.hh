@@ -26,11 +26,35 @@
 
 namespace s2ta {
 
+class GemmPlan;
+
+/**
+ * Which simulation engine executes the run.
+ *
+ * Both engines produce bitwise-identical events and outputs; DbbFast
+ * is the default and exploits the DBB format itself (mask
+ * intersection + rank gathers, O(matched nnz) per block), while
+ * Scalar preserves the original per-element loops as a reference and
+ * as the baseline for bench_engine_throughput.
+ */
+enum class EngineKind
+{
+    /** Legacy per-element loops over the dense operands. */
+    Scalar,
+    /** Mask-intersection kernels over cached DBB encodings. */
+    DbbFast,
+};
+
 /** Per-run options. */
 struct RunOptions
 {
     /** Compute the functional INT32 output (slower; exact). */
     bool compute_output = true;
+    /** Verify the operands satisfy the config's density bounds
+     *  before simulating (on in tests, off in benches). */
+    bool validate_operands = true;
+    /** Simulation engine; results are engine-independent. */
+    EngineKind engine = EngineKind::DbbFast;
     /** Seed for SMT queue-timing sampling (deterministic). */
     uint64_t seed = 0xC0FFEE;
     /** PEs sampled per tile for SMT timing. */
@@ -81,7 +105,17 @@ struct OperandProfile
     /** Total (i,j,kk) triples with both operands non-zero. */
     int64_t matched_products = 0;
 
+    /** Reference construction: dense O(m*k + k*n) scan. */
     static OperandProfile build(const GemmProblem &p);
+
+    /**
+     * Fast construction from cached DBB encodings: per-position
+     * counts come from mask bit loops (O(nnz)) and per-vector counts
+     * from block popcounts. Bit-identical to build().
+     */
+    static OperandProfile fromDbb(const GemmProblem &p,
+                                  const DbbMatrix &act,
+                                  const DbbMatrix &wgt);
 };
 
 /** Base class for all cycle-level array models. */
@@ -100,17 +134,51 @@ class ArrayModel
                 const RunOptions &opt = RunOptions{}) const;
 
     /**
+     * Simulate one GEMM from a pre-built plan. The plan's encodings
+     * and profile are reused as-is, so a caller comparing several
+     * architectures on the same operands pays the encoding cost
+     * once. The plan must be encoded unless opt.engine is Scalar.
+     */
+    GemmRun run(const GemmPlan &plan,
+                const RunOptions &opt = RunOptions{}) const;
+
+    /**
      * Verify the operands satisfy this architecture's requirements
      * (K multiple of BZ for DBB kinds, density bounds respected).
+     * Validates in place over operand rows; no block copies.
      */
     void checkOperands(const GemmProblem &p) const;
+
+    /** Same contract, from a plan's cached masks (popcount test). */
+    void checkPlan(const GemmPlan &plan) const;
 
   protected:
     explicit ArrayModel(ArrayConfig cfg_);
 
     /** Architecture-specific simulation. */
-    virtual void simulate(const GemmProblem &p, const RunOptions &opt,
+    virtual void simulate(const GemmPlan &plan, const RunOptions &opt,
                           GemmRun &out) const = 0;
+
+    /** True when this run executes the legacy scalar engine (by
+     *  request, or because the plan carries no encodings). */
+    static bool usesScalarEngine(const GemmPlan &plan,
+                                 const RunOptions &opt);
+
+    /**
+     * Operand profile for this run: the scalar engine rebuilds it
+     * with the reference dense scan, the fast engine takes the
+     * plan's mask-derived copy. Both are bit-identical.
+     */
+    static OperandProfile profileFor(const GemmPlan &plan,
+                                     const RunOptions &opt);
+
+    /**
+     * Functional output for architectures whose datapath sums in
+     * reference order: gemmReference on the scalar engine, dbbGemm
+     * on the fast engine.
+     */
+    static void referenceOutput(const GemmPlan &plan, bool scalar,
+                                GemmRun &out);
 
     /** Tiles needed along the output-row dimension. */
     int rowTiles(int m) const;

@@ -82,6 +82,8 @@ struct EventCounts
     {
         return macs_executed + macs_zero + macs_gated;
     }
+
+    bool operator==(const EventCounts &) const = default;
 };
 
 } // namespace s2ta

@@ -1,0 +1,225 @@
+#include "arch/gemm_plan.hh"
+
+#include <algorithm>
+
+#ifdef __SSE2__
+#include <emmintrin.h>
+#endif
+
+namespace s2ta {
+
+namespace {
+
+/**
+ * Shared kernel-selection predicate: below ~0.5 matched products
+ * per block pair the gather path does less work than the eight
+ * always-on SIMD lanes; above it the branch-free contraction wins
+ * (the match loop's variable trip count costs more than multiplying
+ * the zeros). Used both when deciding to materialize the dense
+ * mirror and when dispatching dbbGemm, so the two can't drift.
+ */
+bool
+wantsDenseKernel(const OperandProfile &prof, int64_t block_pairs)
+{
+    return 2 * prof.matched_products >= block_pairs;
+}
+
+/**
+ * Row-tiled mask-intersection contraction over the compressed
+ * encodings: an activation stripe stays cache-resident while each
+ * weight column's blocks stream through once per stripe.
+ */
+void
+intersectGemm(const DbbMatrix &act, const DbbMatrix &wgt, int m,
+              int n, int32_t *out)
+{
+    const int nb = act.blocksPerVector();
+    constexpr int kRowTile = 64;
+    for (int i0 = 0; i0 < m; i0 += kRowTile) {
+        const int ilim = std::min(m, i0 + kRowTile);
+        for (int j = 0; j < n; ++j) {
+            const DbbBlock *wcol = wgt.vectorBlocks(j);
+            for (int i = i0; i < ilim; ++i) {
+                out[static_cast<size_t>(i) * n + j] =
+                    dbbDotRow(act.vectorBlocks(i), wcol, nb);
+            }
+        }
+    }
+}
+
+#ifdef __SSE2__
+
+/** Exact INT8 dot product with INT32 accumulation over k elements. */
+int32_t
+denseDot(const int8_t *a, const int8_t *w, int k)
+{
+    const __m128i zero = _mm_setzero_si128();
+    __m128i acc = zero;
+    int x = 0;
+    for (; x + 16 <= k; x += 16) {
+        const __m128i av = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + x));
+        const __m128i wv = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(w + x));
+        // Sign-extend each INT8 half into INT16 lanes (bytes enter
+        // the high half of each word, then an arithmetic shift
+        // restores the value with its sign).
+        const __m128i alo =
+            _mm_srai_epi16(_mm_unpacklo_epi8(zero, av), 8);
+        const __m128i ahi =
+            _mm_srai_epi16(_mm_unpackhi_epi8(zero, av), 8);
+        const __m128i wlo =
+            _mm_srai_epi16(_mm_unpacklo_epi8(zero, wv), 8);
+        const __m128i whi =
+            _mm_srai_epi16(_mm_unpackhi_epi8(zero, wv), 8);
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(alo, wlo));
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(ahi, whi));
+    }
+    int32_t sum = 0;
+    for (; x < k; ++x)
+        sum += static_cast<int32_t>(a[x]) * w[x];
+    alignas(16) int32_t lanes[4];
+    _mm_store_si128(reinterpret_cast<__m128i *>(lanes), acc);
+    return sum + lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+/**
+ * Branch-free SIMD contraction over the dense activation rows and
+ * the transposed weight mirror, row-tiled like intersectGemm.
+ */
+void
+denseGemm(const GemmProblem &p, const int8_t *wgt_t, int32_t *out)
+{
+    constexpr int kRowTile = 64;
+    for (int i0 = 0; i0 < p.m; i0 += kRowTile) {
+        const int ilim = std::min(p.m, i0 + kRowTile);
+        for (int j = 0; j < p.n; ++j) {
+            const int8_t *wcol =
+                wgt_t + static_cast<size_t>(j) * p.k;
+            for (int i = i0; i < ilim; ++i) {
+                out[static_cast<size_t>(i) * p.n + j] = denseDot(
+                    &p.a[static_cast<size_t>(i) * p.k], wcol, p.k);
+            }
+        }
+    }
+}
+
+#endif // __SSE2__
+
+} // anonymous namespace
+
+void
+dbbGemm(const GemmPlan &plan, int32_t *out)
+{
+    const GemmProblem &p = plan.problem();
+#ifdef __SSE2__
+    const int64_t block_pairs =
+        static_cast<int64_t>(p.m) * p.n *
+        plan.act().blocksPerVector();
+    if (plan.wgtDenseT() != nullptr &&
+        wantsDenseKernel(plan.profile(), block_pairs)) {
+        denseGemm(p, plan.wgtDenseT(), out);
+        return;
+    }
+#endif
+    intersectGemm(plan.act(), plan.wgt(), p.m, p.n, out);
+}
+
+GemmPlan
+GemmPlan::build(const GemmProblem &p, int bz, bool dense_mirror)
+{
+    s2ta_assert(bz >= 1 && bz <= 8, "block size %d", bz);
+    GemmPlan plan(p);
+    plan.blk_bz = bz;
+    // Encode with the permissive bz/bz spec: a plan caches content,
+    // not a density contract; bounds are checked against the masks
+    // by checkWeights / checkActivations.
+    const DbbSpec all{bz, bz};
+    plan.act_blocks = DbbMatrix::fromActivations(p, all);
+    plan.wgt_blocks = DbbMatrix::fromWeights(p, all);
+    plan.prof = OperandProfile::fromDbb(p, plan.act_blocks,
+                                        plan.wgt_blocks);
+
+    // Dense transposed weight mirror for the SIMD contraction,
+    // tiled over columns so writes stay within a few streams. Skip
+    // it whenever dbbGemm cannot pick the SIMD kernel: non-SSE2
+    // builds, and densities where the gather path wins anyway (the
+    // same heuristic dbbGemm applies).
+#ifndef __SSE2__
+    dense_mirror = false;
+#else
+    const int64_t block_pairs = static_cast<int64_t>(p.m) * p.n *
+                                plan.act_blocks.blocksPerVector();
+    dense_mirror =
+        dense_mirror && wantsDenseKernel(plan.prof, block_pairs);
+#endif
+    if (dense_mirror) {
+        plan.wgt_t.resize(static_cast<size_t>(p.n) * p.k);
+        constexpr int kColTile = 64;
+        for (int j0 = 0; j0 < p.n; j0 += kColTile) {
+            const int jlim = std::min(p.n, j0 + kColTile);
+            for (int kk = 0; kk < p.k; ++kk) {
+                const int8_t *row =
+                    &p.w[static_cast<size_t>(kk) * p.n];
+                for (int j = j0; j < jlim; ++j)
+                    plan.wgt_t[static_cast<size_t>(j) * p.k + kk] =
+                        row[j];
+            }
+        }
+    }
+
+    plan.is_encoded = true;
+    return plan;
+}
+
+GemmPlan
+GemmPlan::shallow(const GemmProblem &p)
+{
+    return GemmPlan(p);
+}
+
+namespace {
+
+/** Popcount density check shared by both operand validators. */
+void
+checkBlockDensity(const DbbMatrix &mat, const DbbSpec &spec,
+                  const char *kind, const char *vec_name,
+                  const char *remedy)
+{
+    const int nb = mat.blocksPerVector();
+    for (int v = 0; v < mat.vectors(); ++v) {
+        const DbbBlock *blocks = mat.vectorBlocks(v);
+        for (int b = 0; b < nb; ++b) {
+            if (maskPopcount(blocks[b].mask) > spec.nnz) {
+                s2ta_fatal("%s block (%s %d, block %d) violates %s; "
+                           "run %s first", kind, vec_name, v, b,
+                           spec.toString().c_str(), remedy);
+            }
+        }
+    }
+}
+
+} // anonymous namespace
+
+void
+GemmPlan::checkWeights(const DbbSpec &spec) const
+{
+    s2ta_assert(is_encoded, "plan is shallow (scalar engine)");
+    if (wgt_ok_spec && *wgt_ok_spec == spec)
+        return;
+    checkBlockDensity(wgt_blocks, spec, "weight", "col",
+                      "pruneWeightsDbb");
+    wgt_ok_spec = spec;
+}
+
+void
+GemmPlan::checkActivations(const DbbSpec &spec) const
+{
+    s2ta_assert(is_encoded, "plan is shallow (scalar engine)");
+    if (act_ok_spec && *act_ok_spec == spec)
+        return;
+    checkBlockDensity(act_blocks, spec, "activation", "row", "DAP");
+    act_ok_spec = spec;
+}
+
+} // namespace s2ta

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Pre-encoded execution plan for one GEMM.
+ *
+ * The DBB-native engine exploits the simulator's own sparse format:
+ * both operands are encoded into DbbMatrix form exactly once, the
+ * OperandProfile is derived from the block masks (O(nnz) bit loops
+ * instead of an O(M*K + K*N) dense scan), and density validation is
+ * a popcount test per block. Every architecture model consumes the
+ * same plan, so nothing is re-encoded inside simulate() and
+ * Accelerator::runLayer reuses one plan across the whole tile grid.
+ *
+ * A plan borrows the GemmProblem it was built from; the problem must
+ * outlive the plan. Plans are immutable after construction apart
+ * from a small validation memo, so sharing one plan across models is
+ * safe in single-threaded use; concurrent runs should validate once
+ * up front or use separate plans.
+ */
+
+#ifndef S2TA_ARCH_GEMM_PLAN_HH
+#define S2TA_ARCH_GEMM_PLAN_HH
+
+#include <optional>
+
+#include "arch/array_model.hh"
+#include "core/dbb.hh"
+
+namespace s2ta {
+
+class GemmPlan;
+
+/**
+ * DBB-native functional GEMM over a plan's caches. Two exact
+ * kernels, chosen by the plan's measured density:
+ *
+ *  - mask-intersection gathers (dbbDotRow) over the compressed
+ *    encodings, O(matched nnz) per block — wins at the very sparse
+ *    operating points and is the portable fallback;
+ *  - a branch-free SIMD contraction over the dense activation rows
+ *    and the plan's transposed weight mirror — at DBB densities of
+ *    2/8 and up, eight always-on MAC lanes beat per-match gathers
+ *    the same way the paper's DP4M8 beats index-chasing designs.
+ *
+ * Both are row-tiled so one weight column's data is reused across a
+ * stripe of activation rows, and both produce results bit-identical
+ * to gemmReference (terms skipped by a mask are exactly zero; INT32
+ * accumulation is order-independent). Writes the row-major m x n
+ * result.
+ */
+void dbbGemm(const GemmPlan &plan, int32_t *out);
+
+class GemmPlan
+{
+  public:
+    /**
+     * Encode both operands of @p p (one sequential pass each, all
+     * non-zeros kept) and derive the mask-based profile. @p bz is
+     * the block size; K need not be a multiple (tail blocks are
+     * zero-padded losslessly). @p dense_mirror additionally caches
+     * the transposed dense weights for dbbGemm's SIMD contraction;
+     * skip it for events-only runs that never compute an output.
+     */
+    static GemmPlan build(const GemmProblem &p, int bz = 8,
+                          bool dense_mirror = true);
+
+    /**
+     * Wrap @p p without encoding anything: the legacy scalar engine
+     * runs straight off the dense operands.
+     */
+    static GemmPlan shallow(const GemmProblem &p);
+
+    const GemmProblem &problem() const { return *prob; }
+    int bz() const { return blk_bz; }
+    bool encoded() const { return is_encoded; }
+
+    /** Activation blocks (M vectors of ceil(K/bz) blocks). */
+    const DbbMatrix &
+    act() const
+    {
+        s2ta_assert(is_encoded, "plan is shallow (scalar engine)");
+        return act_blocks;
+    }
+
+    /** Weight blocks (N vectors of ceil(K/bz) blocks). */
+    const DbbMatrix &
+    wgt() const
+    {
+        s2ta_assert(is_encoded, "plan is shallow (scalar engine)");
+        return wgt_blocks;
+    }
+
+    /** Mask-derived operand profile (only on encoded plans). */
+    const OperandProfile &
+    profile() const
+    {
+        s2ta_assert(is_encoded, "plan is shallow (scalar engine)");
+        return prof;
+    }
+
+    /**
+     * Dense transposed weight mirror: row j holds the K elements of
+     * weight column j contiguously, feeding the SIMD contraction of
+     * dbbGemm. Null when the plan was built without it.
+     */
+    const int8_t *
+    wgtDenseT() const
+    {
+        return wgt_t.empty() ? nullptr : wgt_t.data();
+    }
+
+    /** Mask test: activation (i, kk) non-zero. */
+    bool
+    actNonZero(int i, int kk) const
+    {
+        return act_blocks.nonZeroAt(i, kk);
+    }
+
+    /** Mask test: weight (kk, j) non-zero. */
+    bool
+    wgtNonZero(int kk, int j) const
+    {
+        return wgt_blocks.nonZeroAt(j, kk);
+    }
+
+    /**
+     * Verify every weight block satisfies @p spec via its cached
+     * mask popcount; fatal on violation. Repeat calls with the same
+     * spec are memoized.
+     */
+    void checkWeights(const DbbSpec &spec) const;
+
+    /** Same for the activation operand. */
+    void checkActivations(const DbbSpec &spec) const;
+
+  private:
+    explicit GemmPlan(const GemmProblem &p) : prob(&p) {}
+
+    const GemmProblem *prob;
+    int blk_bz = 8;
+    bool is_encoded = false;
+    DbbMatrix act_blocks;
+    DbbMatrix wgt_blocks;
+    std::vector<int8_t> wgt_t;
+    OperandProfile prof;
+
+    mutable std::optional<DbbSpec> wgt_ok_spec;
+    mutable std::optional<DbbSpec> act_ok_spec;
+};
+
+} // namespace s2ta
+
+#endif // S2TA_ARCH_GEMM_PLAN_HH

@@ -27,7 +27,7 @@ class SaModel : public ArrayModel
     explicit SaModel(ArrayConfig cfg);
 
   protected:
-    void simulate(const GemmProblem &p, const RunOptions &opt,
+    void simulate(const GemmPlan &plan, const RunOptions &opt,
                   GemmRun &out) const override;
 };
 
@@ -47,7 +47,7 @@ class SaSmtModel : public ArrayModel
     explicit SaSmtModel(ArrayConfig cfg);
 
   protected:
-    void simulate(const GemmProblem &p, const RunOptions &opt,
+    void simulate(const GemmPlan &plan, const RunOptions &opt,
                   GemmRun &out) const override;
 
   public:
@@ -73,7 +73,7 @@ class S2taWModel : public ArrayModel
     explicit S2taWModel(ArrayConfig cfg);
 
   protected:
-    void simulate(const GemmProblem &p, const RunOptions &opt,
+    void simulate(const GemmPlan &plan, const RunOptions &opt,
                   GemmRun &out) const override;
 };
 
@@ -91,7 +91,7 @@ class S2taAwModel : public ArrayModel
     explicit S2taAwModel(ArrayConfig cfg);
 
   protected:
-    void simulate(const GemmProblem &p, const RunOptions &opt,
+    void simulate(const GemmPlan &plan, const RunOptions &opt,
                   GemmRun &out) const override;
 };
 

@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "arch/gemm_plan.hh"
 #include "arch/models.hh"
 #include "core/dbb.hh"
 
@@ -11,10 +12,12 @@ S2taAwModel::S2taAwModel(ArrayConfig cfg_) : ArrayModel(cfg_)
 }
 
 void
-S2taAwModel::simulate(const GemmProblem &p, const RunOptions &opt,
+S2taAwModel::simulate(const GemmPlan &plan, const RunOptions &opt,
                       GemmRun &out) const
 {
-    const OperandProfile prof = OperandProfile::build(p);
+    const GemmProblem &p = plan.problem();
+    const bool scalar = usesScalarEngine(plan, opt);
+    const OperandProfile prof = profileFor(plan, opt);
     EventCounts &ev = out.events;
 
     const int bz = cfg.bz;
@@ -82,34 +85,47 @@ S2taAwModel::simulate(const GemmProblem &p, const RunOptions &opt,
     ev.act_sram_write_bytes = static_cast<int64_t>(p.m) * p.n;
     ev.actfn_elements = static_cast<int64_t>(p.m) * p.n;
 
-    if (opt.compute_output) {
-        // Functional model through the time-unrolled DP1M4 path:
-        // each serialized activation element carries its expanded
-        // position; the 4:1 mux selects the weight slot whose mask
-        // bit matches (Fig. 6e).
-        const DbbSpec aspec{std::min(nnz_a, bz), bz};
-        const DbbMatrix am = DbbMatrix::fromActivations(p, aspec);
-        const DbbMatrix wm = DbbMatrix::fromWeights(p, cfg.weight_dbb);
-        out.output.assign(static_cast<size_t>(p.m) * p.n, 0);
-        for (int i = 0; i < p.m; ++i) {
-            for (int j = 0; j < p.n; ++j) {
-                int32_t acc = 0;
-                for (int b = 0; b < nblocks; ++b) {
-                    const DbbBlock &ab = am.block(i, b);
-                    const DbbBlock &wb = wm.block(j, b);
-                    const int stored = ab.storedCount();
-                    for (int s = 0; s < stored; ++s) {
-                        const int pos = maskNthSetBit(ab.mask, s);
-                        if (!maskTest(wb.mask, pos))
-                            continue; // mux finds no match: gated
-                        acc += static_cast<int32_t>(
-                                   ab.values[static_cast<size_t>(s)])
-                               * wb.values[static_cast<size_t>(
-                                     maskRank(wb.mask, pos))];
-                    }
+    if (!opt.compute_output)
+        return;
+
+    out.output.assign(static_cast<size_t>(p.m) * p.n, 0);
+    if (!scalar) {
+        // DBB-native fast path: serializing the stored activations
+        // and muxing against the weight mask computes exactly the
+        // products at intersecting mask positions, so the datapath
+        // result is the mask-intersection dot product of the cached
+        // encodings.
+        dbbGemm(plan, out.output.data());
+        return;
+    }
+
+    // Scalar reference: per-element functional model through the
+    // time-unrolled DP1M4 path: each serialized activation element
+    // carries its expanded position; the 4:1 mux selects the weight
+    // slot whose mask bit matches (Fig. 6e). Encode permissively —
+    // density enforcement belongs to checkOperands, which
+    // RunOptions may have skipped.
+    const DbbSpec all{bz, bz};
+    const DbbMatrix am = DbbMatrix::fromActivations(p, all);
+    const DbbMatrix wm = DbbMatrix::fromWeights(p, all);
+    for (int i = 0; i < p.m; ++i) {
+        for (int j = 0; j < p.n; ++j) {
+            int32_t acc = 0;
+            for (int b = 0; b < nblocks; ++b) {
+                const DbbBlock &ab = am.block(i, b);
+                const DbbBlock &wb = wm.block(j, b);
+                const int stored = ab.storedCount();
+                for (int s = 0; s < stored; ++s) {
+                    const int pos = maskNthSetBit(ab.mask, s);
+                    if (!maskTest(wb.mask, pos))
+                        continue; // mux finds no match: gated
+                    acc += static_cast<int32_t>(
+                               ab.values[static_cast<size_t>(s)])
+                           * wb.values[static_cast<size_t>(
+                                 maskRank(wb.mask, pos))];
                 }
-                out.output[static_cast<size_t>(i) * p.n + j] = acc;
             }
+            out.output[static_cast<size_t>(i) * p.n + j] = acc;
         }
     }
 }

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "arch/gemm_plan.hh"
 #include "arch/models.hh"
 #include "core/dbb.hh"
 
@@ -12,10 +13,12 @@ S2taWModel::S2taWModel(ArrayConfig cfg_) : ArrayModel(cfg_)
 }
 
 void
-S2taWModel::simulate(const GemmProblem &p, const RunOptions &opt,
+S2taWModel::simulate(const GemmPlan &plan, const RunOptions &opt,
                      GemmRun &out) const
 {
-    const OperandProfile prof = OperandProfile::build(p);
+    const GemmProblem &p = plan.problem();
+    const bool scalar = usesScalarEngine(plan, opt);
+    const OperandProfile prof = profileFor(plan, opt);
     EventCounts &ev = out.events;
 
     const int bz = cfg.bz;
@@ -90,27 +93,40 @@ S2taWModel::simulate(const GemmProblem &p, const RunOptions &opt,
     ev.act_sram_write_bytes = static_cast<int64_t>(p.m) * p.n;
     ev.actfn_elements = static_cast<int64_t>(p.m) * p.n;
 
-    if (opt.compute_output) {
-        // Functional model through the DP4M8 steering path: for each
-        // stored weight, the 8:1 mux selects the activation at the
-        // weight's expanded position (Fig. 6c).
-        const DbbMatrix wm = DbbMatrix::fromWeights(p, cfg.weight_dbb);
-        out.output.assign(static_cast<size_t>(p.m) * p.n, 0);
-        for (int i = 0; i < p.m; ++i) {
-            for (int j = 0; j < p.n; ++j) {
-                int32_t acc = 0;
-                for (int b = 0; b < nblocks; ++b) {
-                    const DbbBlock &blk = wm.block(j, b);
-                    const int stored = blk.storedCount();
-                    for (int s = 0; s < stored; ++s) {
-                        const int pos = maskNthSetBit(blk.mask, s);
-                        acc += static_cast<int32_t>(
-                                   p.actAt(i, b * bz + pos)) *
-                               blk.values[static_cast<size_t>(s)];
-                    }
+    if (!opt.compute_output)
+        return;
+
+    out.output.assign(static_cast<size_t>(p.m) * p.n, 0);
+    if (!scalar) {
+        // DBB-native fast path: the mux steering selects exactly the
+        // activations at the weight mask's positions, and zero
+        // activations contribute nothing, so the datapath result is
+        // the mask-intersection dot product of the cached encodings.
+        dbbGemm(plan, out.output.data());
+        return;
+    }
+
+    // Scalar reference: per-element functional model through the
+    // DP4M8 steering path: for each stored weight, the 8:1 mux
+    // selects the activation at the weight's expanded position
+    // (Fig. 6c). Encode permissively — density enforcement belongs
+    // to checkOperands, which RunOptions may have skipped.
+    const DbbMatrix wm =
+        DbbMatrix::fromWeights(p, DbbSpec{bz, bz});
+    for (int i = 0; i < p.m; ++i) {
+        for (int j = 0; j < p.n; ++j) {
+            int32_t acc = 0;
+            for (int b = 0; b < nblocks; ++b) {
+                const DbbBlock &blk = wm.block(j, b);
+                const int stored = blk.storedCount();
+                for (int s = 0; s < stored; ++s) {
+                    const int pos = maskNthSetBit(blk.mask, s);
+                    acc += static_cast<int32_t>(
+                               p.actAt(i, b * bz + pos)) *
+                           blk.values[static_cast<size_t>(s)];
                 }
-                out.output[static_cast<size_t>(i) * p.n + j] = acc;
             }
+            out.output[static_cast<size_t>(i) * p.n + j] = acc;
         }
     }
 }

@@ -1,4 +1,6 @@
+#include "arch/gemm_plan.hh"
 #include "arch/models.hh"
+#include "core/dbb.hh"
 
 namespace s2ta {
 
@@ -10,10 +12,12 @@ SaModel::SaModel(ArrayConfig cfg_) : ArrayModel(cfg_)
 }
 
 void
-SaModel::simulate(const GemmProblem &p, const RunOptions &opt,
+SaModel::simulate(const GemmPlan &plan, const RunOptions &opt,
                   GemmRun &out) const
 {
-    const OperandProfile prof = OperandProfile::build(p);
+    const GemmProblem &p = plan.problem();
+    const bool scalar = usesScalarEngine(plan, opt);
+    const OperandProfile prof = profileFor(plan, opt);
     EventCounts &ev = out.events;
     const bool zvcg = cfg.kind == ArchKind::SaZvcg;
 
@@ -65,8 +69,12 @@ SaModel::simulate(const GemmProblem &p, const RunOptions &opt,
     ev.act_sram_write_bytes = static_cast<int64_t>(p.m) * p.n;
     ev.actfn_elements = static_cast<int64_t>(p.m) * p.n;
 
-    if (opt.compute_output)
-        out.output = gemmReference(p);
+    if (!opt.compute_output)
+        return;
+    // Dense MAC order sums the same INT32 products; terms with a
+    // zero operand are exactly zero, so the fast engine's kernels
+    // are bit-identical to gemmReference here.
+    referenceOutput(plan, scalar, out);
 }
 
 } // namespace s2ta

@@ -1,6 +1,8 @@
 #include <algorithm>
 
+#include "arch/gemm_plan.hh"
 #include "arch/models.hh"
+#include "core/dbb.hh"
 
 namespace s2ta {
 
@@ -37,10 +39,12 @@ SaSmtModel::queueCycles(const std::vector<int> &arrivals,
 }
 
 void
-SaSmtModel::simulate(const GemmProblem &p, const RunOptions &opt,
+SaSmtModel::simulate(const GemmPlan &plan, const RunOptions &opt,
                      GemmRun &out) const
 {
-    const OperandProfile prof = OperandProfile::build(p);
+    const GemmProblem &p = plan.problem();
+    const bool scalar = usesScalarEngine(plan, opt);
+    const OperandProfile prof = profileFor(plan, opt);
     EventCounts &ev = out.events;
     const int tcount = cfg.smt.threads;
     const int qdepth = cfg.smt.queue_depth;
@@ -83,7 +87,10 @@ SaSmtModel::simulate(const GemmProblem &p, const RunOptions &opt,
     // ---- Tile timing (sampled queue simulation) -----------------
     // The tile finishes when its slowest PE drains; we simulate the
     // queue automaton for a deterministic sample of PEs in a sample
-    // of tiles and use the per-tile maximum.
+    // of tiles and use the per-tile maximum. The fast engine reads
+    // non-zero tests from the cached masks instead of the dense
+    // operands; the booleans (and so the cycle totals) are
+    // identical.
     Rng rng(opt.seed);
     const int64_t total_tiles = grid.tiles();
     const int sim_tiles = static_cast<int>(std::min<int64_t>(
@@ -115,10 +122,14 @@ SaSmtModel::simulate(const GemmProblem &p, const RunOptions &opt,
                 int arr = 0;
                 for (int th = 0; th < tcount; ++th) {
                     const int kk = th * slots_per_thread + slot;
-                    if (kk < p.k && p.actAt(i, kk) != 0 &&
-                        p.wgtAt(kk, j) != 0) {
+                    if (kk >= p.k)
+                        continue;
+                    const bool matched = scalar
+                        ? (p.actAt(i, kk) != 0 && p.wgtAt(kk, j) != 0)
+                        : (plan.actNonZero(i, kk) &&
+                           plan.wgtNonZero(kk, j));
+                    if (matched)
                         ++arr;
-                    }
                 }
                 arrivals[static_cast<size_t>(slot)] = arr;
             }
@@ -131,8 +142,9 @@ SaSmtModel::simulate(const GemmProblem &p, const RunOptions &opt,
     ev.cycles = static_cast<int64_t>(
         std::llround(mean_tile * static_cast<double>(total_tiles)));
 
-    if (opt.compute_output)
-        out.output = gemmReference(p);
+    if (!opt.compute_output)
+        return;
+    referenceOutput(plan, scalar, out);
 }
 
 } // namespace s2ta

@@ -10,6 +10,7 @@
 #ifndef S2TA_BASE_BITMASK_HH
 #define S2TA_BASE_BITMASK_HH
 
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <string>
@@ -21,11 +22,32 @@ namespace s2ta {
 /** Positional bitmask type for blocks of up to 8 elements. */
 using Mask8 = uint8_t;
 
+namespace detail {
+
+/**
+ * 256-entry popcount table. An 8-bit mask domain makes the table
+ * L1-resident (256 bytes), and the lookup beats the libgcc software
+ * popcount emitted when the build does not enable a hardware
+ * POPCNT instruction.
+ */
+alignas(64) inline constexpr auto mask_popcount_table = [] {
+    std::array<uint8_t, 256> t{};
+    for (unsigned i = 0; i < 256; ++i)
+        t[i] = static_cast<uint8_t>(std::popcount(i));
+    return t;
+}();
+
+} // namespace detail
+
 /** Number of set bits in the mask. */
 inline int
 maskPopcount(Mask8 m)
 {
+#ifdef __POPCNT__
     return std::popcount(static_cast<unsigned>(m));
+#else
+    return detail::mask_popcount_table[m];
+#endif
 }
 
 /** True if position i (0-based) is set. */
@@ -76,6 +98,48 @@ maskNthSetBit(Mask8 m, int n)
         }
     }
     s2ta_panic("unreachable");
+}
+
+/**
+ * Intersection of two positional masks: bit i set iff both operands
+ * hold a non-zero at expanded position i. This single AND replaces
+ * the per-element match loop of a naive simulator; popcount of the
+ * result is the matched-MAC count of the block pair (paper Sec. 5.2).
+ */
+inline Mask8
+maskAnd(Mask8 a, Mask8 b)
+{
+    return static_cast<Mask8>(a & b);
+}
+
+/**
+ * Unchecked rank for hot kernels: set bits of @p m strictly below
+ * position i. Unlike maskRank, bit i need not be set and no argument
+ * validation is performed; callers must guarantee 0 <= i < 8.
+ */
+inline int
+maskRankUnchecked(Mask8 m, int i)
+{
+#ifdef __POPCNT__
+    return std::popcount(
+        static_cast<unsigned>(m & ((1u << i) - 1u)));
+#else
+    return detail::mask_popcount_table[m & ((1u << i) - 1u)];
+#endif
+}
+
+/** Position of the lowest set bit; @p m must be non-zero. */
+inline int
+maskLowestSetBit(Mask8 m)
+{
+    return std::countr_zero(static_cast<unsigned>(m));
+}
+
+/** Clear the lowest set bit (Kernighan step). */
+inline Mask8
+maskClearLowest(Mask8 m)
+{
+    return static_cast<Mask8>(m & (m - 1u));
 }
 
 /** Render as Verilog-style literal, e.g. 8'h4D (paper Fig. 8). */

@@ -1,5 +1,6 @@
 #include "core/dbb.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace s2ta {
@@ -61,17 +62,31 @@ dbbSatisfies(std::span<const int8_t> dense, const DbbSpec &spec)
 DbbMatrix
 DbbMatrix::fromWeights(const GemmProblem &p, const DbbSpec &spec)
 {
-    s2ta_assert(p.k % spec.bz == 0, "K=%d not a multiple of bz=%d",
-                p.k, spec.bz);
-    DbbMatrix m(spec, p.n, p.k / spec.bz);
-    std::vector<int8_t> tmp(static_cast<size_t>(spec.bz));
-    for (int j = 0; j < p.n; ++j) {
-        for (int b = 0; b < m.n_blocks; ++b) {
-            for (int e = 0; e < spec.bz; ++e)
-                tmp[static_cast<size_t>(e)] =
-                    p.wgtAt(b * spec.bz + e, j);
-            m.blks[static_cast<size_t>(j) * m.n_blocks + b] =
-                dbbEncode(tmp, spec);
+    s2ta_assert(spec.valid(), "invalid DBB spec %d/%d",
+                spec.nnz, spec.bz);
+    const int bz = spec.bz;
+    DbbMatrix m(spec, p.n, (p.k + bz - 1) / bz);
+    // The weight operand is K x N row-major but blocks run down each
+    // column; encode all N column blocks of one block-row at a time
+    // so memory access stays sequential.
+    for (int b = 0; b < m.n_blocks; ++b) {
+        const int klim = std::min(bz, p.k - b * bz);
+        for (int e = 0; e < klim; ++e) {
+            const int8_t *row =
+                &p.w[static_cast<size_t>(b * bz + e) * p.n];
+            for (int j = 0; j < p.n; ++j) {
+                if (row[j] == 0)
+                    continue;
+                DbbBlock &blk =
+                    m.blks[static_cast<size_t>(j) * m.n_blocks + b];
+                const int slot = maskPopcount(blk.mask);
+                s2ta_assert(slot < spec.nnz,
+                            "weight block (col %d, block %d) "
+                            "violates %s density bound; prune first",
+                            j, b, spec.toString().c_str());
+                blk.values[static_cast<size_t>(slot)] = row[j];
+                blk.mask = maskSet(blk.mask, e);
+            }
         }
     }
     return m;
@@ -80,17 +95,30 @@ DbbMatrix::fromWeights(const GemmProblem &p, const DbbSpec &spec)
 DbbMatrix
 DbbMatrix::fromActivations(const GemmProblem &p, const DbbSpec &spec)
 {
-    s2ta_assert(p.k % spec.bz == 0, "K=%d not a multiple of bz=%d",
-                p.k, spec.bz);
-    DbbMatrix m(spec, p.m, p.k / spec.bz);
-    std::vector<int8_t> tmp(static_cast<size_t>(spec.bz));
+    s2ta_assert(spec.valid(), "invalid DBB spec %d/%d",
+                spec.nnz, spec.bz);
+    const int bz = spec.bz;
+    DbbMatrix m(spec, p.m, (p.k + bz - 1) / bz);
     for (int i = 0; i < p.m; ++i) {
+        const int8_t *row = &p.a[static_cast<size_t>(i) * p.k];
+        DbbBlock *blk_row =
+            &m.blks[static_cast<size_t>(i) * m.n_blocks];
         for (int b = 0; b < m.n_blocks; ++b) {
-            for (int e = 0; e < spec.bz; ++e)
-                tmp[static_cast<size_t>(e)] =
-                    p.actAt(i, b * spec.bz + e);
-            m.blks[static_cast<size_t>(i) * m.n_blocks + b] =
-                dbbEncode(tmp, spec);
+            DbbBlock &blk = blk_row[b];
+            const int klim = std::min(bz, p.k - b * bz);
+            int slot = 0;
+            for (int e = 0; e < klim; ++e) {
+                const int8_t v = row[b * bz + e];
+                if (v == 0)
+                    continue;
+                s2ta_assert(slot < spec.nnz,
+                            "activation block (row %d, block %d) "
+                            "violates %s density bound; prune first",
+                            i, b, spec.toString().c_str());
+                blk.values[static_cast<size_t>(slot)] = v;
+                blk.mask = maskSet(blk.mask, e);
+                ++slot;
+            }
         }
     }
     return m;

@@ -81,6 +81,44 @@ struct DbbBlock
 };
 
 /**
+ * Mask-intersection dot product of one block pair: the DBB-native
+ * fast path. A single AND of the two positional masks yields the
+ * matched positions; each match gathers its stored values by rank.
+ * Work is O(popcount(a.mask & w.mask)), not O(bz), and the INT32 sum
+ * is bit-identical to the dense product of the expanded blocks
+ * (skipped terms are exactly zero).
+ */
+inline int32_t
+dbbDotBlocks(const DbbBlock &a, const DbbBlock &w)
+{
+    int32_t acc = 0;
+    for (Mask8 inter = maskAnd(a.mask, w.mask); inter;
+         inter = maskClearLowest(inter)) {
+        const int pos = maskLowestSetBit(inter);
+        acc += static_cast<int32_t>(
+                   a.values[static_cast<size_t>(
+                       maskRankUnchecked(a.mask, pos))]) *
+               static_cast<int32_t>(
+                   w.values[static_cast<size_t>(
+                       maskRankUnchecked(w.mask, pos))]);
+    }
+    return acc;
+}
+
+/**
+ * Mask-intersection dot product over @p nblocks consecutive block
+ * pairs (one activation row against one weight column).
+ */
+inline int32_t
+dbbDotRow(const DbbBlock *a, const DbbBlock *w, int nblocks)
+{
+    int32_t acc = 0;
+    for (int b = 0; b < nblocks; ++b)
+        acc += dbbDotBlocks(a[b], w[b]);
+    return acc;
+}
+
+/**
  * Encode a dense block into DBB form.
  *
  * The block must already satisfy the density bound (apply a pruner
@@ -104,7 +142,9 @@ bool dbbSatisfies(std::span<const int8_t> dense, const DbbSpec &spec);
  *
  * For weights (K x N) vectors run down each column; for activations
  * (M x K) vectors run along each row. 'vectors' is the number of
- * rows/columns and 'blocks_per_vector' is K / bz.
+ * rows/columns and 'blocks_per_vector' is ceil(K / bz); when bz does
+ * not divide K the tail block is zero-padded, which encodes
+ * losslessly (padding positions simply stay unset in the mask).
  */
 class DbbMatrix
 {
@@ -139,6 +179,27 @@ class DbbMatrix
     }
 
     /**
+     * Unchecked pointer to the blocks of vector @p v, for the hot
+     * kernels (dbbDotRow et al.).
+     */
+    const DbbBlock *
+    vectorBlocks(int v) const
+    {
+        return blks.data() + static_cast<size_t>(v) * n_blocks;
+    }
+
+    /** True when expanded position @p kk of vector @p v is non-zero;
+     *  a pure mask test, no value gather. */
+    bool
+    nonZeroAt(int v, int kk) const
+    {
+        const DbbBlock &blk =
+            blks[static_cast<size_t>(v) * n_blocks +
+                 kk / dbb_spec.bz];
+        return (blk.mask >> (kk % dbb_spec.bz)) & 1u;
+    }
+
+    /**
      * Compressed storage footprint in bytes: nnz value bytes plus one
      * mask byte per block (paper Fig. 5).
      */
@@ -155,7 +216,11 @@ class DbbMatrix
     /** Mean stored-value occupancy over all blocks, in [0, 1]. */
     double occupancy() const;
 
-    /** Decompress back to a dense row-major (vectors x K) matrix. */
+    /**
+     * Decompress back to a dense row-major matrix of
+     * vectors x (blocksPerVector() * bz); when bz does not divide
+     * the original K, the tail columns hold the zero padding.
+     */
     std::vector<int8_t> toDense() const;
 
   private:

@@ -1,0 +1,90 @@
+/** @file Unit tests for the fixed-size thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "base/thread_pool.hh"
+
+namespace s2ta {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(3);
+    const int64_t n = 10000;
+    std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+    pool.parallelFor(n, [&](int64_t i) {
+        hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (int64_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << i;
+}
+
+TEST(ThreadPool, AutoSizedPoolCompletesAllWork)
+{
+    // workers = 0 sizes from the hardware (possibly zero helpers on
+    // a single-core host); either way every index must run.
+    ThreadPool pool(0);
+    std::atomic<int64_t> sum{0};
+    pool.parallelFor(100, [&](int64_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ThreadPool, SequentialJobsReuseWorkers)
+{
+    ThreadPool pool(2);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<int> count{0};
+        pool.parallelFor(64, [&](int64_t) { count.fetch_add(1); });
+        ASSERT_EQ(count.load(), 64) << "round " << round;
+    }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool pool(2);
+    std::vector<std::atomic<int>> hits(64);
+    pool.parallelFor(8, [&](int64_t outer) {
+        pool.parallelFor(8, [&](int64_t inner) {
+            hits[static_cast<size_t>(outer * 8 + inner)].fetch_add(
+                1);
+        });
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, DeterministicByIndexReduction)
+{
+    // The pool's contract: write slot i from fn(i), reduce in index
+    // order afterwards -> results are schedule-independent.
+    ThreadPool pool(4);
+    std::vector<int64_t> a(5000), b(5000);
+    pool.parallelFor(5000, [&](int64_t i) {
+        a[static_cast<size_t>(i)] = i * i + 7;
+    });
+    for (int64_t i = 0; i < 5000; ++i)
+        b[static_cast<size_t>(i)] = i * i + 7;
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(std::accumulate(a.begin(), a.end(), int64_t{0}),
+              std::accumulate(b.begin(), b.end(), int64_t{0}));
+}
+
+TEST(ThreadPool, EmptyAndSingleJobsShortCircuit)
+{
+    ThreadPool pool(2);
+    int calls = 0;
+    pool.parallelFor(0, [&](int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](int64_t i) {
+        EXPECT_EQ(i, 0);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+} // anonymous namespace
+} // namespace s2ta

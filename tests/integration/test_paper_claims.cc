@@ -227,8 +227,9 @@ TEST(PaperClaims, Fig9aZvcgEnergyFallsWeaklyNoSpeedup)
             dense_energy = e;
         // "weakly": even 75% weight sparsity saves < 50% energy
         // relative to dense weights (Fig. 9a).
-        if (wgt_sparsity == 75)
+        if (wgt_sparsity == 75) {
             EXPECT_GT(e / dense_energy, 0.5);
+        }
         if (first_cycles < 0)
             first_cycles = run.events.cycles;
         EXPECT_EQ(run.events.cycles, first_cycles);
