@@ -18,8 +18,10 @@ using namespace s2ta;
 using namespace s2ta::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    configureDefaultContext(args.ctx);
     banner("Ablation 1",
            "Intra-TPE reuse: operand-register traffic vs TPE size "
            "at a fixed 2048 MACs (S2TA-AW, 4/8 W, 4/8 A)");
@@ -68,5 +70,19 @@ main()
                 "a TPE feeds A x C datapaths; the frontier flattens "
                 "past ~32\nMACs per TPE, which is where the paper's "
                 "8x4x4_8x8 design point sits.\n");
+
+    if (!args.json.empty()) {
+        // This is the canonical one-workload / many-configs sweep:
+        // with the plan cache, the GEMM encodes once for all six
+        // TPE geometries.
+        const PlanCache::Stats cs =
+            defaultContext().planCache().stats();
+        JsonWriter jw;
+        jw.field("bench", "abl01_tpe_reuse")
+            .field("design_points", 6)
+            .field("cache_hits", cs.hits)
+            .field("cache_misses", cs.misses);
+        jw.write(args.json);
+    }
     return 0;
 }

@@ -35,8 +35,10 @@ const LayerPoint kLayers[] = {
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    configureDefaultContext(args.ctx);
     banner("Ablation 3",
            "Per-layer DAP auto-tuning vs fixed A-DBB density "
            "(S2TA-AW, 98% L2 retention target)");
@@ -109,5 +111,18 @@ main()
                 "lossy (2/8\ndestroys early-layer activations). "
                 "Time-unrolling makes the variable policy\nfree in "
                 "hardware.\n");
+
+    if (!args.json.empty()) {
+        JsonWriter jw;
+        jw.field("bench", "abl03_dap_autotune")
+            .field("variable_cycles", var_cycles)
+            .field("fixed4_over_variable",
+                   static_cast<double>(fix4_cycles) / var_cycles,
+                   3)
+            .field("fixed2_over_variable",
+                   static_cast<double>(fix2_cycles) / var_cycles,
+                   3);
+        jw.write(args.json);
+    }
     return 0;
 }

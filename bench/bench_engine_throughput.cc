@@ -3,57 +3,34 @@
  * End-to-end throughput of the simulation engine itself: wall-clock
  * time to run a full CNN workload (functional outputs on) through
  * the legacy scalar engine versus the DBB-native fast path
- * (mask-intersection kernels + GemmPlan caching + parallel runner).
- * Emits a JSON record for the bench trajectory and verifies the two
- * engines produce bitwise-identical outputs and event counts.
+ * (mask-intersection kernels + GemmPlan caching + parallel runner),
+ * plus the encode-amortized rerun through a warm PlanCache (the
+ * sweep operating point: one encode, many design points). Emits a
+ * JSON record for the bench trajectory and verifies that every
+ * configuration produces bitwise-identical outputs and events.
  *
  * Usage:
  *   bench_engine_throughput [--smoke] [--model NAME]
- *                           [--arch s2ta-w|s2ta-aw]
- *                           [--json PATH] [--reps N]
+ *                           [--arch s2ta-w|s2ta-aw] [--json PATH]
+ *                           [--reps N] [--threads N]
+ *                           [--engine scalar|fast]
  *
  * --smoke runs LeNet-5 (seconds, for CI); the default is a
  * ResNet-50 full-model run at a uniform 4/8 DBB operating point.
+ * --threads sets the parallel-runner lane count (1 = serial; the
+ * serial engine comparison rows are always run serial).
  */
 
-#include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_util.hh"
-#include "workload/model_workloads.hh"
 
 using namespace s2ta;
 using namespace s2ta::bench;
 
 namespace {
-
-double
-now()
-{
-    using clock = std::chrono::steady_clock;
-    return std::chrono::duration<double>(
-               clock::now().time_since_epoch())
-        .count();
-}
-
-ModelSpec
-pickModel(const std::string &name)
-{
-    if (name == "lenet5")
-        return leNet5();
-    if (name == "alexnet")
-        return alexNet();
-    if (name == "vgg16")
-        return vgg16();
-    if (name == "mobilenetv1")
-        return mobileNetV1();
-    if (name == "resnet50")
-        return resNet50();
-    s2ta_fatal("unknown model '%s'", name.c_str());
-}
 
 struct EngineResult
 {
@@ -69,9 +46,9 @@ timeEngine(const AcceleratorConfig &acfg, const ModelWorkload &mw,
     EngineResult r;
     double best = 0.0;
     for (int rep = 0; rep < reps; ++rep) {
-        const double t0 = now();
+        const double t0 = benchNow();
         NetworkRun nr = acc.runNetwork(mw.layers, opt);
-        const double dt = now() - t0;
+        const double dt = benchNow() - t0;
         if (rep == 0 || dt < best) {
             best = dt;
             r.run = std::move(nr);
@@ -81,61 +58,29 @@ timeEngine(const AcceleratorConfig &acfg, const ModelWorkload &mw,
     return r;
 }
 
-bool
-bitwiseEqual(const NetworkRun &a, const NetworkRun &b)
-{
-    if (a.layers.size() != b.layers.size())
-        return false;
-    for (size_t i = 0; i < a.layers.size(); ++i) {
-        const Int32Tensor &x = a.layers[i].output;
-        const Int32Tensor &y = b.layers[i].output;
-        if (x.size() != y.size())
-            return false;
-        if (std::memcmp(x.data(), y.data(),
-                        static_cast<size_t>(x.size()) *
-                            sizeof(int32_t)) != 0)
-            return false;
-        if (!(a.layers[i].events == b.layers[i].events))
-            return false;
-    }
-    return true;
-}
-
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string model_name = "resnet50";
-    std::string arch_name = "s2ta-aw";
-    std::string json_path = "BENCH_engine_throughput.json";
-    bool smoke = false;
-    int reps = 1;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--smoke") {
-            smoke = true;
-            model_name = "lenet5";
-        } else if (arg == "--model" && i + 1 < argc) {
-            model_name = argv[++i];
-        } else if (arg == "--arch" && i + 1 < argc) {
-            arch_name = argv[++i];
-        } else if (arg == "--json" && i + 1 < argc) {
-            json_path = argv[++i];
-        } else if (arg == "--reps" && i + 1 < argc) {
-            reps = std::atoi(argv[++i]);
-            if (reps < 1)
-                s2ta_fatal("--reps must be >= 1");
-        } else {
-            s2ta_fatal("unknown argument '%s'", arg.c_str());
-        }
-    }
+    BenchArgs args = parseBenchArgs(argc, argv);
+    args.rejectFlag(args.engine_given, "--engine",
+                    "this bench compares both engines by design");
+    args.rejectFlag(args.plan_cache_given, "--no-plan-cache",
+                    "the warm-cache row is part of the experiment");
+    if (args.model.empty())
+        args.model = args.smoke ? "lenet5" : "resnet50";
+    if (args.arch.empty())
+        args.arch = "s2ta-aw";
+    const std::string json_path =
+        args.json.empty() ? "BENCH_engine_throughput.json"
+                          : args.json;
 
     banner("Engine throughput",
            "Scalar per-element engine vs DBB-native fast path "
            "(functional outputs on, uniform 4/8 DBB)");
 
-    const ModelSpec spec = pickModel(model_name);
+    const ModelSpec spec = modelByName(args.model);
     // Uniform 4/8 operating point on both operands: the paper's
     // headline weight density, and the sparsity level the
     // acceptance target is defined at.
@@ -146,7 +91,7 @@ main(int argc, char **argv)
         buildModelWorkload(spec, profile, rng);
 
     AcceleratorConfig acfg;
-    acfg.array = arch_name == "s2ta-w" ? ArrayConfig::s2taW()
+    acfg.array = args.arch == "s2ta-w" ? ArrayConfig::s2taW()
                                        : ArrayConfig::s2taAw(4);
 
     // Pre-PR behavior: serial, per-element loops, always-on operand
@@ -164,12 +109,21 @@ main(int argc, char **argv)
     NetworkRunOptions fast_opt = scalar_opt;
     fast_opt.engine = EngineKind::DbbFast;
 
-    // The full production path: all lanes, validation off (the
-    // bench generator guarantees the bounds; tests keep it on).
+    // The full production path: parallel lanes (with intra-GEMM
+    // tile-stripe sharding), validation off (the bench generator
+    // guarantees the bounds; tests keep it on). --threads applies
+    // here (0 = all hardware threads, 1 = serial).
     NetworkRunOptions prod_opt = fast_opt;
     prod_opt.validate_operands = false;
     AcceleratorConfig prod_cfg = acfg;
-    prod_cfg.sim_threads = 0;
+    prod_cfg.sim_threads = args.ctx.threads;
+
+    // The sweep operating point: same engine with a warm PlanCache,
+    // i.e. the marginal cost of one more design point after the
+    // workload has been encoded once.
+    PlanCache cache;
+    NetworkRunOptions cached_opt = fast_opt;
+    cached_opt.plan_cache = &cache;
 
     std::printf("model=%s arch=%s layers=%zu dense_macs=%lld\n\n",
                 spec.name.c_str(), acfg.array.name().c_str(),
@@ -178,72 +132,66 @@ main(int argc, char **argv)
 
     std::printf("running scalar engine (serial)...\n");
     const EngineResult scalar =
-        timeEngine(serial_cfg, mw, scalar_opt, reps);
+        timeEngine(serial_cfg, mw, scalar_opt, args.reps);
     std::printf("  %.3f s\n", scalar.seconds);
 
     std::printf("running DBB-native engine (serial)...\n");
     const EngineResult fast =
-        timeEngine(serial_cfg, mw, fast_opt, reps);
+        timeEngine(serial_cfg, mw, fast_opt, args.reps);
     std::printf("  %.3f s\n", fast.seconds);
 
     std::printf("running DBB-native engine (parallel, unvalidated)"
                 "...\n");
     const EngineResult prod =
-        timeEngine(prod_cfg, mw, prod_opt, reps);
+        timeEngine(prod_cfg, mw, prod_opt, args.reps);
     std::printf("  %.3f s\n", prod.seconds);
 
-    const bool equal = bitwiseEqual(scalar.run, fast.run) &&
-                       bitwiseEqual(scalar.run, prod.run);
+    std::printf("running DBB-native engine (warm plan cache)...\n");
+    // Warm the cache once, then time the encode-amortized rerun.
+    (void)timeEngine(serial_cfg, mw, cached_opt, 1);
+    const EngineResult cached =
+        timeEngine(serial_cfg, mw, cached_opt, args.reps);
+    std::printf("  %.3f s\n", cached.seconds);
+
+    const bool equal = bitwiseEqualRuns(scalar.run, fast.run) &&
+                       bitwiseEqualRuns(scalar.run, prod.run) &&
+                       bitwiseEqualRuns(scalar.run, cached.run);
     const double speedup = scalar.seconds / fast.seconds;
     const double speedup_parallel = scalar.seconds / prod.seconds;
+    const double speedup_cached = scalar.seconds / cached.seconds;
     const double layers_per_sec =
         static_cast<double>(mw.layers.size()) / prod.seconds;
     const double macs_per_sec =
         static_cast<double>(spec.totalMacs()) / prod.seconds;
 
-    std::printf("\nengine speedup: %.2fx (serial) | %.2fx with the "
-                "parallel runner\nfast path: %.2f layers/s, %.3g "
-                "simulated MACs/s | outputs bitwise %s\n",
-                speedup, speedup_parallel, layers_per_sec,
-                macs_per_sec, equal ? "identical" : "DIFFERENT");
+    std::printf(
+        "\nengine speedup: %.2fx (serial) | %.2fx with the parallel "
+        "runner | %.2fx encode-amortized\nfast path: %.2f layers/s, "
+        "%.3g simulated MACs/s | outputs bitwise %s\n",
+        speedup, speedup_parallel, speedup_cached, layers_per_sec,
+        macs_per_sec, equal ? "identical" : "DIFFERENT");
     if (!equal)
         s2ta_fatal("engine outputs diverged; fast path is broken");
 
-    char json[1024];
-    std::snprintf(
-        json, sizeof(json),
-        "{\n"
-        "  \"bench\": \"engine_throughput\",\n"
-        "  \"model\": \"%s\",\n"
-        "  \"arch\": \"%s\",\n"
-        "  \"smoke\": %s,\n"
-        "  \"layers\": %zu,\n"
-        "  \"dense_macs\": %lld,\n"
-        "  \"wgt_nnz\": 4,\n"
-        "  \"act_nnz\": 4,\n"
-        "  \"scalar_seconds\": %.6f,\n"
-        "  \"fast_seconds\": %.6f,\n"
-        "  \"fast_parallel_seconds\": %.6f,\n"
-        "  \"speedup\": %.3f,\n"
-        "  \"speedup_parallel\": %.3f,\n"
-        "  \"fast_layers_per_sec\": %.3f,\n"
-        "  \"fast_sim_macs_per_sec\": %.6g,\n"
-        "  \"bitwise_equal\": %s\n"
-        "}\n",
-        spec.name.c_str(), acfg.array.name().c_str(),
-        smoke ? "true" : "false", spec.layers.size(),
-        static_cast<long long>(spec.totalMacs()), scalar.seconds,
-        fast.seconds, prod.seconds, speedup, speedup_parallel,
-        layers_per_sec, macs_per_sec, equal ? "true" : "false");
-    std::printf("\n%s", json);
-
-    if (!json_path.empty()) {
-        std::FILE *f = std::fopen(json_path.c_str(), "w");
-        if (!f)
-            s2ta_fatal("cannot write '%s'", json_path.c_str());
-        std::fputs(json, f);
-        std::fclose(f);
-        std::printf("wrote %s\n", json_path.c_str());
-    }
+    JsonWriter jw;
+    jw.field("bench", "engine_throughput")
+        .field("model", spec.name)
+        .field("arch", acfg.array.name())
+        .field("smoke", args.smoke)
+        .field("layers", static_cast<int64_t>(spec.layers.size()))
+        .field("dense_macs", spec.totalMacs())
+        .field("wgt_nnz", 4)
+        .field("act_nnz", 4)
+        .field("scalar_seconds", scalar.seconds)
+        .field("fast_seconds", fast.seconds)
+        .field("fast_parallel_seconds", prod.seconds)
+        .field("fast_cached_seconds", cached.seconds)
+        .field("speedup", speedup, 3)
+        .field("speedup_parallel", speedup_parallel, 3)
+        .field("speedup_cached", speedup_cached, 3)
+        .field("fast_layers_per_sec", layers_per_sec, 3)
+        .field("fast_sim_macs_per_sec", macs_per_sec, 0)
+        .field("bitwise_equal", equal);
+    jw.write(json_path);
     return 0;
 }

@@ -1,21 +1,31 @@
 /**
  * @file
  * Shared plumbing for the paper-reproduction benchmark binaries:
- * canonical workloads, design-point evaluation, and normalized
- * metric records.
+ * canonical workloads, design-point evaluation, sweep-scale
+ * amortization (hoisted models + cross-run plan caching), the
+ * common CLI flags, and normalized metric records.
  */
 
 #ifndef S2TA_BENCH_BENCH_UTIL_HH
 #define S2TA_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "arch/accelerator.hh"
 #include "arch/models.hh"
+#include "arch/plan_cache.hh"
 #include "base/table.hh"
+#include "base/thread_pool.hh"
 #include "core/dap.hh"
 #include "core/weight_pruner.hh"
 #include "energy/energy_model.hh"
+#include "workload/model_workloads.hh"
 #include "workload/sparse_gen.hh"
 
 namespace s2ta {
@@ -44,27 +54,492 @@ struct DesignPoint
     }
 };
 
-/** Evaluate one array config on a GEMM with the 16nm energy model. */
+/** Outcome of one design point on a whole model workload. */
+struct ModelPoint
+{
+    std::string name;
+    EventCounts events;
+    double energy_uj = 0.0;
+    int64_t cycles = 0;
+};
+
+/**
+ * Sweep-scale evaluation context.
+ *
+ * A paper sweep evaluates many design points over few workloads;
+ * pre-PR, every point paid the full setup again (fresh ArrayModel,
+ * fresh EnergyModel, fresh Accelerator, re-lowered and re-encoded
+ * operands). The context hoists all of that: array models, energy
+ * models, and accelerators are constructed once per distinct config
+ * and the shared PlanCache encodes each workload once for the whole
+ * sweep. Results are bitwise identical to the uncached path.
+ */
+class SweepContext
+{
+  public:
+    struct Options
+    {
+        /** Simulation engine for every evaluation. */
+        EngineKind engine = EngineKind::DbbFast;
+        /**
+         * Simulation threads: 0 = one lane per hardware thread
+         * (the default, matching AcceleratorConfig), 1 = serial,
+         * N > 1 = a dedicated pool. Also enables intra-GEMM
+         * tile-stripe sharding when != 1.
+         */
+        int threads = 0;
+        /** Share encoded plans across design points. */
+        bool plan_cache = true;
+        /** Plan-cache LRU entry capacity (0 = unbounded). */
+        size_t cache_entries = 0;
+        /** Plan-cache resident-byte budget (0 = unbounded). */
+        int64_t cache_bytes = 0;
+        /** Operand density validation (benches trust their
+         *  generators; tests turn it on). */
+        bool validate = true;
+    };
+
+    explicit SweepContext(Options o)
+        : opts(o), cache(o.cache_entries, o.cache_bytes)
+    {}
+
+    // Defined after the class: Options' member initializers are
+    // not usable as a default argument inside it.
+    SweepContext();
+
+    const Options &options() const { return opts; }
+    PlanCache &planCache() { return cache; }
+
+    /** GEMM-level RunOptions matching this context's knobs. */
+    RunOptions
+    runOptions(bool compute_output = false)
+    {
+        RunOptions ro;
+        ro.compute_output = compute_output;
+        ro.validate_operands = opts.validate;
+        ro.engine = opts.engine;
+        if (opts.plan_cache)
+            ro.plan_cache = &cache;
+        ro.shard_pool = shardPool();
+        return ro;
+    }
+
+    /** Evaluate one array config on a GEMM (16nm by default). */
+    DesignPoint
+    evalGemm(const ArrayConfig &cfg, const GemmProblem &p,
+             const TechParams &tech = TechParams::tsmc16(),
+             int64_t extra_dap_comparisons = 0)
+    {
+        GemmRun run = model(cfg).run(p, runOptions());
+        run.events.dap_comparisons += extra_dap_comparisons;
+
+        DesignPoint dp;
+        dp.name = archKindName(cfg.kind);
+        dp.events = run.events;
+        dp.energy = energyModel(cfg, tech).energy(run.events);
+        dp.energy_pj = dp.energy.totalPj();
+        dp.cycles = run.events.cycles;
+        return dp;
+    }
+
+    /** Network-level RunOptions matching this context's knobs. */
+    NetworkRunOptions
+    networkRunOptions(bool compute_output = false)
+    {
+        NetworkRunOptions nro;
+        static_cast<RunOptions &>(nro) =
+            runOptions(compute_output);
+        return nro;
+    }
+
+    /** Evaluate one array config on a whole model workload. */
+    ModelPoint
+    evalModel(const ArrayConfig &cfg, const ModelWorkload &mw,
+              const TechParams &tech = TechParams::tsmc16())
+    {
+        const NetworkRun nr = accelerator(cfg).runNetwork(
+            mw.layers, networkRunOptions());
+
+        ModelPoint mp;
+        mp.name = cfg.name();
+        mp.events = nr.total;
+        mp.energy_uj = energyModel(cfg, tech).energy(nr.total)
+                           .totalUj();
+        mp.cycles = nr.total.cycles;
+        return mp;
+    }
+
+    /** Hoisted cycle model for @p cfg (built on first use). */
+    ArrayModel &
+    model(const ArrayConfig &cfg)
+    {
+        for (auto &e : models)
+            if (e.first == cfg)
+                return *e.second;
+        models.emplace_back(cfg, makeArrayModel(cfg));
+        return *models.back().second;
+    }
+
+    /** Hoisted energy model for (@p cfg, @p tech). */
+    EnergyModel &
+    energyModel(const ArrayConfig &cfg, const TechParams &tech)
+    {
+        for (auto &e : emodels)
+            if (e.tech_name == tech.name && e.cfg == cfg)
+                return *e.em;
+        AcceleratorConfig acfg;
+        acfg.array = cfg;
+        emodels.push_back(
+            {tech.name, cfg,
+             std::make_unique<EnergyModel>(tech, acfg)});
+        return *emodels.back().em;
+    }
+
+    /** Hoisted full-system accelerator for @p cfg. */
+    Accelerator &
+    accelerator(const ArrayConfig &cfg)
+    {
+        for (auto &e : accels)
+            if (e.first == cfg)
+                return *e.second;
+        AcceleratorConfig acfg;
+        acfg.array = cfg;
+        acfg.sim_threads = opts.threads;
+        accels.emplace_back(
+            cfg, std::make_unique<Accelerator>(acfg));
+        return *accels.back().second;
+    }
+
+  private:
+    ThreadPool *
+    shardPool()
+    {
+        if (opts.threads == 1)
+            return nullptr;
+        if (opts.threads == 0)
+            return &ThreadPool::global();
+        // Dedicated pool, spawned lazily: evalModel goes through
+        // hoisted Accelerators (which bring their own pools), so
+        // only direct evalGemm sharding needs this one.
+        if (!own_pool)
+            own_pool =
+                std::make_unique<ThreadPool>(opts.threads - 1);
+        return own_pool.get();
+    }
+
+    struct EnergyEntry
+    {
+        std::string tech_name;
+        ArrayConfig cfg;
+        std::unique_ptr<EnergyModel> em;
+    };
+
+    Options opts;
+    PlanCache cache;
+    std::unique_ptr<ThreadPool> own_pool;
+    std::vector<std::pair<ArrayConfig, std::unique_ptr<ArrayModel>>>
+        models;
+    std::vector<EnergyEntry> emodels;
+    std::vector<std::pair<ArrayConfig, std::unique_ptr<Accelerator>>>
+        accels;
+};
+
+inline SweepContext::SweepContext() : SweepContext(Options{}) {}
+
+// ---- shared CLI flags ------------------------------------------------
+
+/** Options common to every bench binary. */
+struct BenchArgs
+{
+    SweepContext::Options ctx;
+    /** Artifact path; empty = no JSON emitted. */
+    std::string json;
+    /** Reduced CI-sized run for benches that support it. */
+    bool smoke = false;
+    /** Model override for benches that take one (empty = default). */
+    std::string model;
+    /** Architecture override for benches that take one. */
+    std::string arch;
+    /** Timing repetitions (best-of). */
+    int reps = 1;
+    // Whether the knob was given explicitly: benches whose
+    // experiment pins a knob (e.g. the engine-comparison bench
+    // runs both engines by definition) must reject an explicit
+    // flag instead of silently ignoring it.
+    bool engine_given = false;
+    bool threads_given = false;
+    bool plan_cache_given = false;
+
+    /** Fatal unless flag @p name was left at its default. */
+    void
+    rejectFlag(bool given, const char *name,
+               const char *why) const
+    {
+        if (given)
+            s2ta_fatal("%s is not applicable here: %s", name, why);
+    }
+};
+
+/**
+ * Parse the shared flags: --engine scalar|fast, --threads N,
+ * --json PATH, --no-plan-cache, --smoke, --model NAME, --arch NAME,
+ * --reps N. Fatal on anything unrecognized, so a typo cannot
+ * silently run the wrong experiment.
+ */
+inline BenchArgs
+parseBenchArgs(int argc, char **argv)
+{
+    BenchArgs a;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                s2ta_fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--engine") {
+            const std::string v = value();
+            if (v == "scalar")
+                a.ctx.engine = EngineKind::Scalar;
+            else if (v == "fast" || v == "dbb-fast")
+                a.ctx.engine = EngineKind::DbbFast;
+            else
+                s2ta_fatal("unknown engine '%s' (scalar|fast)",
+                           v.c_str());
+            a.engine_given = true;
+        } else if (arg == "--threads") {
+            a.ctx.threads = std::atoi(value().c_str());
+            if (a.ctx.threads < 0)
+                s2ta_fatal("--threads must be >= 0");
+            a.threads_given = true;
+        } else if (arg == "--json") {
+            a.json = value();
+        } else if (arg == "--no-plan-cache") {
+            a.ctx.plan_cache = false;
+            a.plan_cache_given = true;
+        } else if (arg == "--smoke") {
+            a.smoke = true;
+        } else if (arg == "--model") {
+            a.model = value();
+        } else if (arg == "--arch") {
+            a.arch = value();
+        } else if (arg == "--reps") {
+            a.reps = std::atoi(value().c_str());
+            if (a.reps < 1)
+                s2ta_fatal("--reps must be >= 1");
+        } else {
+            s2ta_fatal("unknown argument '%s' (flags: --engine "
+                       "scalar|fast, --threads N, --json PATH, "
+                       "--no-plan-cache, --smoke, --model NAME, "
+                       "--arch NAME, --reps N)", arg.c_str());
+        }
+    }
+    return a;
+}
+
+/** Monotonic wall-clock seconds for bench timing. */
+inline double
+benchNow()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Shared bitwise-equivalence gate for engine/cache/shard checks:
+ * per-layer functional outputs (when computed), per-layer events,
+ * and the network totals must all match exactly.
+ */
+inline bool
+bitwiseEqualRuns(const NetworkRun &a, const NetworkRun &b)
+{
+    if (a.layers.size() != b.layers.size())
+        return false;
+    if (!(a.total == b.total) || a.dense_macs != b.dense_macs)
+        return false;
+    for (size_t i = 0; i < a.layers.size(); ++i) {
+        const Int32Tensor &x = a.layers[i].output;
+        const Int32Tensor &y = b.layers[i].output;
+        if (x.size() != y.size())
+            return false;
+        if (x.size() > 0 &&
+            std::memcmp(x.data(), y.data(),
+                        static_cast<size_t>(x.size()) *
+                            sizeof(int32_t)) != 0)
+            return false;
+        if (!(a.layers[i].events == b.layers[i].events))
+            return false;
+    }
+    return true;
+}
+
+/** Zoo model by CLI name; fatal on unknown names. */
+inline ModelSpec
+modelByName(const std::string &name)
+{
+    if (name == "lenet5")
+        return leNet5();
+    if (name == "alexnet")
+        return alexNet();
+    if (name == "vgg16")
+        return vgg16();
+    if (name == "mobilenetv1")
+        return mobileNetV1();
+    if (name == "resnet50")
+        return resNet50();
+    s2ta_fatal("unknown model '%s'", name.c_str());
+}
+
+// ---- JSON artifacts --------------------------------------------------
+
+/**
+ * Minimal ordered JSON-object writer for bench artifacts. Strings
+ * are emitted verbatim (keys and values in this repo are plain
+ * identifiers; no escaping needed).
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &
+    field(const std::string &key, double v, int digits = 6)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+        return raw(key, buf);
+    }
+
+    JsonWriter &
+    field(const std::string &key, int64_t v)
+    {
+        return raw(key, std::to_string(v));
+    }
+
+    JsonWriter &
+    field(const std::string &key, int v)
+    {
+        return raw(key, std::to_string(v));
+    }
+
+    JsonWriter &
+    field(const std::string &key, bool v)
+    {
+        return raw(key, v ? "true" : "false");
+    }
+
+    JsonWriter &
+    field(const std::string &key, const std::string &v)
+    {
+        return raw(key, "\"" + v + "\"");
+    }
+
+    JsonWriter &
+    field(const std::string &key, const char *v)
+    {
+        return field(key, std::string(v));
+    }
+
+    std::string
+    str() const
+    {
+        return "{\n" + body + "\n}\n";
+    }
+
+    /** Write to @p path and echo to stdout; fatal on I/O error. */
+    void
+    write(const std::string &path) const
+    {
+        const std::string s = str();
+        std::printf("\n%s", s.c_str());
+        if (path.empty())
+            return;
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            s2ta_fatal("cannot write '%s'", path.c_str());
+        std::fputs(s.c_str(), f);
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+    }
+
+  private:
+    JsonWriter &
+    raw(const std::string &key, const std::string &v)
+    {
+        if (!body.empty())
+            body += ",\n";
+        body += "  \"" + key + "\": " + v;
+        return *this;
+    }
+
+    std::string body;
+};
+
+// ---- canonical workloads ---------------------------------------------
+
+/**
+ * Process-wide context behind the free evalGemm / evalModel
+ * helpers: every design point evaluated by a bench shares hoisted
+ * array/energy models and one plan cache instead of reconstructing
+ * everything per point (the pre-PR behavior). A small LRU is
+ * enough: benches evaluate a handful of design points per workload
+ * back to back, so the cap bounds memory while every same-operand
+ * re-evaluation still hits.
+ */
+namespace detail {
+
+inline std::unique_ptr<SweepContext> &
+defaultContextSlot()
+{
+    static std::unique_ptr<SweepContext> ctx;
+    return ctx;
+}
+
+} // namespace detail
+
+inline SweepContext &
+defaultContext()
+{
+    auto &slot = detail::defaultContextSlot();
+    if (!slot) {
+        SweepContext::Options o;
+        o.cache_bytes = 1ll << 30; // bound bench memory, not reuse
+        slot = std::make_unique<SweepContext>(o);
+    }
+    return *slot;
+}
+
+/**
+ * Point the free helpers at a context built from the CLI flags
+ * (engine / threads / plan-cache knobs). Call once at the top of a
+ * bench main, before the first evaluation.
+ */
+inline void
+configureDefaultContext(SweepContext::Options o)
+{
+    if (o.cache_entries == 0 && o.cache_bytes == 0)
+        o.cache_bytes = 1ll << 30;
+    detail::defaultContextSlot() = std::make_unique<SweepContext>(o);
+}
+
+/** Evaluate one array config on a GEMM with the 16nm energy model
+ *  (sweep-amortized via defaultContext()). */
 inline DesignPoint
 evalGemm(const ArrayConfig &cfg, const GemmProblem &p,
          const TechParams &tech = TechParams::tsmc16(),
          int64_t extra_dap_comparisons = 0)
 {
-    AcceleratorConfig acfg;
-    acfg.array = cfg;
-    const EnergyModel em(tech, acfg);
-    RunOptions opt;
-    opt.compute_output = false;
-    GemmRun run = makeArrayModel(cfg)->run(p, opt);
-    run.events.dap_comparisons += extra_dap_comparisons;
+    return defaultContext().evalGemm(cfg, p, tech,
+                                     extra_dap_comparisons);
+}
 
-    DesignPoint dp;
-    dp.name = archKindName(cfg.kind);
-    dp.events = run.events;
-    dp.energy = em.energy(run.events);
-    dp.energy_pj = dp.energy.totalPj();
-    dp.cycles = run.events.cycles;
-    return dp;
+/** Evaluate one array config on a whole model workload
+ *  (sweep-amortized via defaultContext()). */
+inline ModelPoint
+evalModel(const ArrayConfig &cfg, const ModelWorkload &mw,
+          const TechParams &tech = TechParams::tsmc16())
+{
+    return defaultContext().evalModel(cfg, mw, tech);
 }
 
 /**

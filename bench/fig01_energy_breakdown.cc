@@ -12,8 +12,10 @@ using namespace s2ta;
 using namespace s2ta::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    configureDefaultContext(args.ctx);
     banner("Figure 1",
            "Energy breakdown of a dense INT8 systolic array, "
            "typical conv, 50% weight/activation sparsity");
@@ -52,5 +54,16 @@ main()
     std::printf("\nKey insight (Sec. 2.1): the INT8 MAC datapath is "
                 "~20%% of energy;\noperand/result buffers dominate, "
                 "so sparsity hardware must stay lean.\n");
+
+    if (!args.json.empty()) {
+        JsonWriter jw;
+        jw.field("bench", "fig01_energy_breakdown")
+            .field("total_uj", sa.energy.totalUj(), 3)
+            .field("pe_buffer_share",
+                   sa.energy.share(Component::PeBuffers), 4)
+            .field("mac_share",
+                   sa.energy.share(Component::MacDatapath), 4);
+        jw.write(args.json);
+    }
     return 0;
 }

@@ -12,8 +12,10 @@ using namespace s2ta;
 using namespace s2ta::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    configureDefaultContext(args.ctx);
     banner("Figure 3",
            "Unstructured-sparsity overheads: SA vs SA-ZVCG vs "
            "SMT-T2Q2/T2Q4, 50%/50% sparsity");
@@ -65,5 +67,14 @@ main()
                 pts[2].speedupOver(pts[0]),
                 pts[3].speedupOver(pts[0]), smt2_vs_zvcg,
                 smt4_vs_zvcg);
+
+    if (!args.json.empty()) {
+        JsonWriter jw;
+        jw.field("bench", "fig03_unstructured_overhead")
+            .field("smt2_energy_vs_zvcg", smt2_vs_zvcg, 3)
+            .field("smt4_energy_vs_zvcg", smt4_vs_zvcg, 3)
+            .field("smt2_speedup", pts[2].speedupOver(pts[0]), 3);
+        jw.write(args.json);
+    }
     return 0;
 }

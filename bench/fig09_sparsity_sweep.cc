@@ -67,8 +67,10 @@ weightSweepPanel(const char *title, const char *note,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    configureDefaultContext(args.ctx);
     banner("Figure 9",
            "Energy (normalized to SA-ZVCG @ 50%/50%) and speedup "
            "vs sparsity");
@@ -104,6 +106,7 @@ main()
                 "(1.0, 1.3, 2.0, 2.7, 4.0, 8.0).\n");
     Table t({"Act sparsity", "Energy(w4/8)", "Energy(w2/8)",
              "Speedup", "Paper speedup"});
+    double aw_75_speedup = 0.0;
     const struct { double pct; int nnz; double paper; } pts[] = {
         {0.0, 8, 1.0},  {25.0, 6, 1.3}, {50.0, 4, 2.0},
         {62.5, 3, 2.7}, {75.0, 2, 4.0}, {87.5, 1, 8.0},
@@ -132,7 +135,21 @@ main()
                   Table::num(energy[0]), Table::num(energy[1]),
                   Table::ratio(speedup, 2),
                   Table::ratio(pt.paper, 1)});
+        if (pt.nnz == 2)
+            aw_75_speedup = speedup;
     }
     t.print();
+
+    if (!args.json.empty()) {
+        const PlanCache::Stats cs =
+            defaultContext().planCache().stats();
+        JsonWriter jw;
+        jw.field("bench", "fig09_sparsity_sweep")
+            .field("s2ta_aw_75pct_speedup", aw_75_speedup, 3)
+            .field("paper_75pct_speedup", 4.0, 1)
+            .field("cache_hits", cs.hits)
+            .field("cache_misses", cs.misses);
+        jw.write(args.json);
+    }
     return 0;
 }

@@ -11,8 +11,10 @@ using namespace s2ta;
 using namespace s2ta::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    configureDefaultContext(args.ctx);
     banner("Figure 10",
            "Typical conv, 50% (4/8) weight + 62.5% (3/8) activation "
            "sparsity; all designs run the same deployed model");
@@ -67,5 +69,16 @@ main()
         pts[4].energy.sramPj() / pts[5].energy.sramPj();
     std::printf("Measured S2TA-W / S2TA-AW SRAM energy: %.2fx\n",
                 sram_ratio);
+
+    if (!args.json.empty()) {
+        JsonWriter jw;
+        jw.field("bench", "fig10_conv_breakdown")
+            .field("s2ta_aw_speedup_vs_zvcg",
+                   pts[5].speedupOver(pts[1]), 3)
+            .field("s2ta_aw_energy_vs_zvcg",
+                   pts[5].energyRatioTo(pts[1]), 3)
+            .field("s2ta_w_over_aw_sram_energy", sram_ratio, 3);
+        jw.write(args.json);
+    }
     return 0;
 }

@@ -15,8 +15,10 @@ using namespace s2ta;
 using namespace s2ta::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    configureDefaultContext(args.ctx);
     banner("Figure 12",
            "AlexNet per-layer energy per inference (uJ), 65nm");
 
@@ -30,15 +32,19 @@ main()
         {"S2TA-AW", ArrayConfig::s2taAw(4)},
     };
 
-    // Our per-layer energies in 65nm, conv layers only.
+    // Our per-layer energies in 65nm, conv layers only. The layer
+    // runs share the default context's hoisted accelerators, plan
+    // cache, and energy models across all three variants.
+    SweepContext &ctx = defaultContext();
+    const NetworkRunOptions lro = ctx.networkRunOptions();
     std::vector<std::vector<double>> ours(std::size(variants));
     for (size_t vi = 0; vi < std::size(variants); ++vi) {
-        AcceleratorConfig acfg;
-        acfg.array = variants[vi].cfg;
-        const Accelerator acc(acfg);
-        const EnergyModel em(TechParams::tsmc65(), acfg);
+        const Accelerator &acc =
+            ctx.accelerator(variants[vi].cfg);
+        const EnergyModel &em = ctx.energyModel(
+            variants[vi].cfg, TechParams::tsmc65());
         for (size_t li = 0; li < 5; ++li) { // conv1..conv5
-            const LayerRun lr = acc.runLayer(mw.layers[li]);
+            const LayerRun lr = acc.runLayer(mw.layers[li], lro);
             ours[vi].push_back(em.energy(lr.events).totalUj());
         }
     }
@@ -78,5 +84,15 @@ main()
     std::printf("Measured: SparTen/S2TA-AW = %.2fx, "
                 "EyerissV2/S2TA-AW = %.2fx\n",
                 totals[1] / totals[4], totals[0] / totals[4]);
+
+    if (!args.json.empty()) {
+        JsonWriter jw;
+        jw.field("bench", "fig12_alexnet_layers")
+            .field("s2ta_aw_total_uj", totals[4], 1)
+            .field("sparten_over_s2ta_aw", totals[1] / totals[4], 3)
+            .field("eyerissv2_over_s2ta_aw",
+                   totals[0] / totals[4], 3);
+        jw.write(args.json);
+    }
     return 0;
 }

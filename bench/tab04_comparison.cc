@@ -28,11 +28,13 @@ const Variant kVariants[] = {
 void
 peakRows(const TechParams &tech, Table &t)
 {
+    // Models and energy models are hoisted in the default context;
+    // repeated design points over the same operands reuse the
+    // shared plan cache.
+    SweepContext &ctx = defaultContext();
     for (const Variant &v : kVariants) {
-        AcceleratorConfig acfg;
-        acfg.array = v.cfg;
-        const EnergyModel em(tech, acfg);
-        const double area = em.area().totalMm2();
+        const double area =
+            ctx.energyModel(v.cfg, tech).area().totalMm2();
 
         double tops[2], topsw[2];
         int i = 0;
@@ -50,10 +52,8 @@ peakRows(const TechParams &tech, Table &t)
             } else if (cfg.kind == ArchKind::S2taW) {
                 cfg.weight_dbb = DbbSpec{nnz, 8};
             }
-            const DesignPoint dp = evalGemm(cfg, p, tech);
-            AcceleratorConfig acfg2;
-            acfg2.array = cfg;
-            const EnergyModel em2(tech, acfg2);
+            const DesignPoint dp = ctx.evalGemm(cfg, p, tech);
+            const EnergyModel &em2 = ctx.energyModel(cfg, tech);
             tops[i] = em2.effectiveTops(dp.events);
             topsw[i] = em2.effectiveTopsPerWatt(dp.events);
             ++i;
@@ -70,21 +70,19 @@ peakRows(const TechParams &tech, Table &t)
 void
 modelRows(const TechParams &tech, const ModelWorkload &mw, Table &t)
 {
+    SweepContext &ctx = defaultContext();
     for (const Variant &v : kVariants) {
-        AcceleratorConfig acfg;
-        acfg.array = v.cfg;
-        const Accelerator acc(acfg);
-        const EnergyModel em(tech, acfg);
-        const NetworkRun nr = acc.runNetwork(mw.layers);
+        const ModelPoint mp = ctx.evalModel(v.cfg, mw, tech);
+        const EnergyModel &em = ctx.energyModel(v.cfg, tech);
         const double seconds =
-            static_cast<double>(nr.total.cycles) /
+            static_cast<double>(mp.cycles) /
             (tech.freq_ghz * 1e9);
-        const double joules =
-            em.energy(nr.total).totalPj() * 1e-12;
+        const double joules = mp.energy_uj * 1e-6;
         t.addRow({v.label,
                   Table::num(1.0 / seconds / 1e3, 2),
                   Table::num(1.0 / joules / 1e3, 2),
-                  Table::num(em.effectiveTopsPerWatt(nr.total), 2)});
+                  Table::num(em.effectiveTopsPerWatt(mp.events),
+                             2)});
     }
 }
 
@@ -106,8 +104,10 @@ publishedRow(Table &t, const published::AcceleratorDatapoint &d)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    configureDefaultContext(args.ctx);
     banner("Table 4",
            "Comparison of S2TA-AW and baselines (our models) with "
            "published sparse accelerators");
@@ -153,5 +153,15 @@ main()
                 "peaks at %.2f TOPS/W\nper the paper's Sec. 9 -- "
                 "~4x below the S2TA-W baseline.\n",
                 published::kA100.peak_tops_per_w);
+
+    if (!args.json.empty()) {
+        const PlanCache::Stats cs =
+            defaultContext().planCache().stats();
+        JsonWriter jw;
+        jw.field("bench", "tab04_comparison")
+            .field("cache_hits", cs.hits)
+            .field("cache_misses", cs.misses);
+        jw.write(args.json);
+    }
     return 0;
 }

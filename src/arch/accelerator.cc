@@ -3,10 +3,42 @@
 #include <algorithm>
 #include <cmath>
 
+#include "arch/plan_cache.hh"
 #include "base/thread_pool.hh"
 #include "core/dap.hh"
 
 namespace s2ta {
+
+namespace {
+
+/**
+ * Content key of one layer's lowered GEMMs: the conv geometry, the
+ * lowering alignment, and fingerprints of both operand tensors.
+ * Two layers with identical key lower to bit-identical problems,
+ * so a PlanCache entry built under this key is valid for any array
+ * config that shares the alignment and block size.
+ */
+uint64_t
+layerPlanKey(const LayerWorkload &wl, int channel_align,
+             uint64_t input_hash)
+{
+    uint64_t key = 0x4C41594552ull; // domain tag
+    const Conv2dShape &s = wl.shape;
+    for (int field : {s.in_c, s.in_h, s.in_w, s.out_c, s.kernel_h,
+                      s.kernel_w, s.stride, s.pad, s.groups,
+                      channel_align}) {
+        key = PlanCache::combine(key,
+                                 static_cast<uint64_t>(field));
+    }
+    key = PlanCache::combine(key, input_hash);
+    key = PlanCache::combine(
+        key, PlanCache::hashBytes(
+                 wl.weights.data(),
+                 static_cast<size_t>(wl.weights.size())));
+    return key;
+}
+
+} // anonymous namespace
 
 void
 NetworkRun::add(LayerRun lr)
@@ -46,6 +78,14 @@ Accelerator::runIndexed(int64_t n,
     } else {
         ThreadPool::global().parallelFor(n, fn);
     }
+}
+
+ThreadPool *
+Accelerator::shardPool() const
+{
+    if (cfg.sim_threads == 1)
+        return nullptr;
+    return own_pool ? own_pool.get() : &ThreadPool::global();
 }
 
 int
@@ -88,7 +128,11 @@ Accelerator::runLayer(const LayerWorkload &wl,
     }
     const auto model = makeArrayModel(acfg);
 
-    const RunOptions &gemm_opt = opt;
+    // The GEMM-level options inherit the caller's engine/cache
+    // knobs; the shard pool lets a single big GEMM's tile grid fan
+    // out in row stripes even when the group fan-out is 1.
+    RunOptions gemm_opt = opt;
+    gemm_opt.shard_pool = shardPool();
 
     if (compute_output) {
         lr.output = Int32Tensor(
@@ -99,15 +143,45 @@ Accelerator::runLayer(const LayerWorkload &wl,
     // + profile) is built once and reused across the whole tile
     // grid; grouped layers fan out across the simulation threads.
     // Events are folded in group order for bitwise determinism.
+    // With a plan cache the layer's activations lower (batched,
+    // once for all groups) and encode only on first sight; every
+    // later design point in the sweep reuses the cached plans.
     const int groups = wl.shape.groups;
     std::vector<GemmRun> runs(static_cast<size_t>(groups));
-    const auto run_group = [&](int64_t g) {
-        const GemmProblem p =
-            im2colLower(wl.shape, wl.input, wl.weights,
-                        static_cast<int>(g), channelAlign());
-        runs[static_cast<size_t>(g)] = model->run(p, gemm_opt);
-    };
-    runIndexed(groups, run_group);
+    const bool cached = opt.plan_cache != nullptr &&
+                        opt.engine != EngineKind::Scalar;
+    // The input fingerprint keys both the lowered plans and the
+    // DAP memo below; compute it once per layer visit.
+    const uint64_t input_hash =
+        cached ? PlanCache::hashBytes(
+                     wl.input.data(),
+                     static_cast<size_t>(wl.input.size()))
+               : 0;
+    if (cached) {
+        const auto plans = opt.plan_cache->acquireLayer(
+            layerPlanKey(wl, channelAlign(), input_hash), groups,
+            acfg.bz, compute_output,
+            [&] {
+                return im2colLowerAll(wl.shape, wl.input,
+                                      wl.weights, channelAlign());
+            },
+            [&](int g) {
+                return im2colLower(wl.shape, wl.input, wl.weights,
+                                   g, channelAlign());
+            });
+        runIndexed(groups, [&](int64_t g) {
+            runs[static_cast<size_t>(g)] = model->run(
+                plans[static_cast<size_t>(g)]->plan, gemm_opt);
+        });
+    } else {
+        const std::vector<GemmProblem> problems = im2colLowerAll(
+            wl.shape, wl.input, wl.weights, channelAlign());
+        runIndexed(groups, [&](int64_t g) {
+            runs[static_cast<size_t>(g)] =
+                model->run(problems[static_cast<size_t>(g)],
+                           gemm_opt);
+        });
+    }
     for (int g = 0; g < groups; ++g) {
         lr.events.add(runs[static_cast<size_t>(g)].events);
         if (compute_output) {
@@ -119,10 +193,22 @@ Accelerator::runLayer(const LayerWorkload &wl,
 
     // The DAP array prunes the input tensor once as it is written to
     // the activation SRAM; its comparator activity belongs to the
-    // S2TA-AW design only (other designs have no DAP hardware).
+    // S2TA-AW design only (other designs have no DAP hardware). The
+    // counts depend only on (tensor content, NNZ bound) — not on
+    // the array geometry — so sweeps memoize them per layer.
     if (acfg.kind == ArchKind::S2taAw && wl.act_nnz < acfg.bz) {
-        Int8Tensor copy = wl.input;
-        const DapStats ds = dapPruneTensor(copy, wl.act_nnz);
+        const auto prune = [&] {
+            Int8Tensor copy = wl.input;
+            return dapPruneTensor(copy, wl.act_nnz);
+        };
+        const DapStats ds =
+            cached ? opt.plan_cache->dapStats(
+                         PlanCache::combine(
+                             PlanCache::combine(0x444150ull,
+                                                input_hash),
+                             static_cast<uint64_t>(wl.act_nnz)),
+                         prune)
+                   : prune();
         lr.events.dap_comparisons = ds.comparisons;
         s2ta_assert(ds.nonzeros_dropped == 0,
                     "layer '%s' input does not satisfy its declared "

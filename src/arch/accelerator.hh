@@ -165,6 +165,10 @@ class Accelerator
     void runIndexed(int64_t n,
                     const std::function<void(int64_t)> &fn) const;
 
+    /** Pool functional GEMM kernels shard tile stripes onto
+     *  (nullptr when the accelerator is configured serial). */
+    ThreadPool *shardPool() const;
+
     AcceleratorConfig cfg;
     /** Dedicated pool when sim_threads > 1; else serial/global. */
     std::unique_ptr<ThreadPool> own_pool;

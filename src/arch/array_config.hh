@@ -55,6 +55,8 @@ struct TpeGeometry
 
     /** Render as "AxBxC_MxN". */
     std::string toString() const;
+
+    bool operator==(const TpeGeometry &) const = default;
 };
 
 /** SMT-SA specific parameters (threads and FIFO depth). */
@@ -62,6 +64,8 @@ struct SmtConfig
 {
     int threads = 2;
     int queue_depth = 2;
+
+    bool operator==(const SmtConfig &) const = default;
 };
 
 /** A complete array design point. */
@@ -106,6 +110,9 @@ struct ArrayConfig
 
     /** Validate internal consistency; fatal on error. */
     void check() const;
+
+    /** Structural identity (used by sweep-level model caches). */
+    bool operator==(const ArrayConfig &) const = default;
 
     // --- Canonical paper design points -------------------------
 

@@ -5,6 +5,7 @@
 
 #include "arch/gemm_plan.hh"
 #include "arch/models.hh"
+#include "arch/plan_cache.hh"
 #include "core/dap.hh"
 #include "core/dbb.hh"
 
@@ -225,6 +226,15 @@ ArrayModel::run(const GemmProblem &p, const RunOptions &opt) const
     if (opt.engine == EngineKind::Scalar) {
         return run(GemmPlan::shallow(p), opt);
     }
+    // The compressed form is config-independent, so a sweep sharing
+    // a PlanCache encodes each workload once and every design point
+    // after the first reuses the cached plan (operands are
+    // fingerprinted per call, so mutated data can never hit).
+    if (opt.plan_cache != nullptr) {
+        const auto entry =
+            opt.plan_cache->acquire(p, cfg.bz, opt.compute_output);
+        return run(entry->plan, opt);
+    }
     // The dense weight mirror only feeds the functional kernels;
     // events-only runs skip building it.
     return run(GemmPlan::build(p, cfg.bz, opt.compute_output), opt);
@@ -246,16 +256,16 @@ ArrayModel::profileFor(const GemmPlan &plan, const RunOptions &opt)
 }
 
 void
-ArrayModel::referenceOutput(const GemmPlan &plan, bool scalar,
-                            GemmRun &out)
+ArrayModel::referenceOutput(const GemmPlan &plan,
+                            const RunOptions &opt, GemmRun &out)
 {
     const GemmProblem &p = plan.problem();
-    if (scalar) {
+    if (usesScalarEngine(plan, opt)) {
         out.output = gemmReference(p);
         return;
     }
     out.output.assign(static_cast<size_t>(p.m) * p.n, 0);
-    dbbGemm(plan, out.output.data());
+    dbbGemm(plan, out.output.data(), opt.shard_pool);
 }
 
 GemmRun

@@ -27,6 +27,8 @@
 namespace s2ta {
 
 class GemmPlan;
+class PlanCache;
+class ThreadPool;
 
 /**
  * Which simulation engine executes the run.
@@ -61,6 +63,22 @@ struct RunOptions
     int smt_sample_pes = 192;
     /** Tiles simulated for SMT timing (mean reused for the rest). */
     int smt_sample_tiles = 6;
+    /**
+     * Cross-run plan cache: when set (and the engine is not
+     * Scalar), run(GemmProblem) reuses the cached DBB encoding of
+     * identical operands instead of re-encoding — one encode per
+     * workload across a whole architecture sweep. Results are
+     * bitwise identical with or without the cache. Not owned.
+     */
+    PlanCache *plan_cache = nullptr;
+    /**
+     * Intra-GEMM tile-stripe sharding: when set, the functional
+     * kernels split the output tile grid into row stripes across
+     * this pool's lanes (bitwise identical to serial at any lane
+     * count). Event accounting is closed-form and stays serial.
+     * Not owned; nullptr = serial.
+     */
+    ThreadPool *shard_pool = nullptr;
 };
 
 /** Result of simulating one GEMM on an array. */
@@ -175,10 +193,11 @@ class ArrayModel
     /**
      * Functional output for architectures whose datapath sums in
      * reference order: gemmReference on the scalar engine, dbbGemm
-     * on the fast engine.
+     * (tile-stripe sharded over opt.shard_pool when set) on the
+     * fast engine.
      */
-    static void referenceOutput(const GemmPlan &plan, bool scalar,
-                                GemmRun &out);
+    static void referenceOutput(const GemmPlan &plan,
+                                const RunOptions &opt, GemmRun &out);
 
     /** Tiles needed along the output-row dimension. */
     int rowTiles(int m) const;

@@ -2,13 +2,27 @@
 
 #include <algorithm>
 
+#include "base/thread_pool.hh"
+
 #ifdef __SSE2__
 #include <emmintrin.h>
 #endif
 
 namespace s2ta {
 
+// Defined in gemm_kernels_v2.cc (compiled with SSSE3 codegen when
+// S2TA_ENABLE_X86_64_V2 is on; a scalar alias otherwise).
+int32_t dbbDotRowSimdV2(const DbbBlock *a, const DbbBlock *w,
+                        int nblocks);
+bool dbbSimdKernelSupportedImpl();
+
 namespace {
+
+std::atomic<bool> force_scalar_kernel{false};
+
+/** Row-dot signature both intersection kernels share. */
+using RowDotFn = int32_t (*)(const DbbBlock *, const DbbBlock *,
+                             int);
 
 /**
  * Shared kernel-selection predicate: below ~0.5 matched products
@@ -26,22 +40,25 @@ wantsDenseKernel(const OperandProfile &prof, int64_t block_pairs)
 
 /**
  * Row-tiled mask-intersection contraction over the compressed
- * encodings: an activation stripe stays cache-resident while each
- * weight column's blocks stream through once per stripe.
+ * encodings for output rows [row_begin, row_end): an activation
+ * stripe stays cache-resident while each weight column's blocks
+ * stream through once per stripe. @p dot is the dispatched row-dot
+ * kernel (scalar rank gathers or the SSSE3 expansion).
  */
 void
-intersectGemm(const DbbMatrix &act, const DbbMatrix &wgt, int m,
-              int n, int32_t *out)
+intersectGemmRows(const DbbMatrix &act, const DbbMatrix &wgt, int n,
+                  int row_begin, int row_end, RowDotFn dot,
+                  int32_t *out)
 {
     const int nb = act.blocksPerVector();
     constexpr int kRowTile = 64;
-    for (int i0 = 0; i0 < m; i0 += kRowTile) {
-        const int ilim = std::min(m, i0 + kRowTile);
+    for (int i0 = row_begin; i0 < row_end; i0 += kRowTile) {
+        const int ilim = std::min(row_end, i0 + kRowTile);
         for (int j = 0; j < n; ++j) {
             const DbbBlock *wcol = wgt.vectorBlocks(j);
             for (int i = i0; i < ilim; ++i) {
                 out[static_cast<size_t>(i) * n + j] =
-                    dbbDotRow(act.vectorBlocks(i), wcol, nb);
+                    dot(act.vectorBlocks(i), wcol, nb);
             }
         }
     }
@@ -85,14 +102,16 @@ denseDot(const int8_t *a, const int8_t *w, int k)
 
 /**
  * Branch-free SIMD contraction over the dense activation rows and
- * the transposed weight mirror, row-tiled like intersectGemm.
+ * the transposed weight mirror, row-tiled like intersectGemmRows,
+ * covering output rows [row_begin, row_end).
  */
 void
-denseGemm(const GemmProblem &p, const int8_t *wgt_t, int32_t *out)
+denseGemmRows(const GemmProblem &p, const int8_t *wgt_t,
+              int row_begin, int row_end, int32_t *out)
 {
     constexpr int kRowTile = 64;
-    for (int i0 = 0; i0 < p.m; i0 += kRowTile) {
-        const int ilim = std::min(p.m, i0 + kRowTile);
+    for (int i0 = row_begin; i0 < row_end; i0 += kRowTile) {
+        const int ilim = std::min(row_end, i0 + kRowTile);
         for (int j = 0; j < p.n; ++j) {
             const int8_t *wcol =
                 wgt_t + static_cast<size_t>(j) * p.k;
@@ -106,10 +125,61 @@ denseGemm(const GemmProblem &p, const int8_t *wgt_t, int32_t *out)
 
 #endif // __SSE2__
 
+/**
+ * Run @p rows_fn(row_begin, row_end) over [0, m), split into
+ * kStripeRows-row stripes across the pool (or in one serial call
+ * when no pool is given). Stripes write disjoint rows, so
+ * scheduling order cannot affect the result.
+ */
+template <typename RowsFn>
+void
+forRowStripes(int m, ThreadPool *pool, const RowsFn &rows_fn)
+{
+    // One stripe is several cache tiles: big enough that stripe
+    // dispatch overhead stays invisible, small enough that a
+    // ResNet-sized GEMM (m ~ 3k) still fans out across many lanes.
+    constexpr int64_t kStripeRows = 256;
+    if (pool == nullptr) {
+        if (m > 0)
+            rows_fn(0, m);
+        return;
+    }
+    pool->parallelForStripes(
+        m, kStripeRows, [&](int64_t begin, int64_t end) {
+            rows_fn(static_cast<int>(begin),
+                    static_cast<int>(end));
+        });
+}
+
 } // anonymous namespace
 
+bool
+dbbSimdKernelAvailable()
+{
+    // The probe lives in the v2 TU so the compile-time gate, the
+    // cpuid check, and the kernel all sit under the same flags.
+    return dbbSimdKernelSupportedImpl();
+}
+
+DbbKernelKind
+dbbActiveKernel()
+{
+    if (force_scalar_kernel.load(std::memory_order_relaxed))
+        return DbbKernelKind::Scalar;
+    // cpuid result cannot change at runtime; memoize the probe.
+    static const bool available = dbbSimdKernelAvailable();
+    return available ? DbbKernelKind::SimdV2
+                     : DbbKernelKind::Scalar;
+}
+
 void
-dbbGemm(const GemmPlan &plan, int32_t *out)
+dbbForceScalarKernel(bool force)
+{
+    force_scalar_kernel.store(force, std::memory_order_relaxed);
+}
+
+void
+dbbGemm(const GemmPlan &plan, int32_t *out, ThreadPool *shard_pool)
 {
     const GemmProblem &p = plan.problem();
 #ifdef __SSE2__
@@ -118,11 +188,21 @@ dbbGemm(const GemmPlan &plan, int32_t *out)
         plan.act().blocksPerVector();
     if (plan.wgtDenseT() != nullptr &&
         wantsDenseKernel(plan.profile(), block_pairs)) {
-        denseGemm(p, plan.wgtDenseT(), out);
+        forRowStripes(p.m, shard_pool,
+                      [&](int row_begin, int row_end) {
+                          denseGemmRows(p, plan.wgtDenseT(),
+                                        row_begin, row_end, out);
+                      });
         return;
     }
 #endif
-    intersectGemm(plan.act(), plan.wgt(), p.m, p.n, out);
+    const RowDotFn dot =
+        dbbActiveKernel() == DbbKernelKind::SimdV2 ? dbbDotRowSimdV2
+                                                   : dbbDotRow;
+    forRowStripes(p.m, shard_pool, [&](int row_begin, int row_end) {
+        intersectGemmRows(plan.act(), plan.wgt(), p.n, row_begin,
+                          row_end, dot, out);
+    });
 }
 
 GemmPlan
@@ -205,21 +285,23 @@ void
 GemmPlan::checkWeights(const DbbSpec &spec) const
 {
     s2ta_assert(is_encoded, "plan is shallow (scalar engine)");
-    if (wgt_ok_spec && *wgt_ok_spec == spec)
+    if (wgt_ok_spec.load(std::memory_order_acquire) ==
+        encodeSpec(spec))
         return;
     checkBlockDensity(wgt_blocks, spec, "weight", "col",
                       "pruneWeightsDbb");
-    wgt_ok_spec = spec;
+    wgt_ok_spec.store(encodeSpec(spec), std::memory_order_release);
 }
 
 void
 GemmPlan::checkActivations(const DbbSpec &spec) const
 {
     s2ta_assert(is_encoded, "plan is shallow (scalar engine)");
-    if (act_ok_spec && *act_ok_spec == spec)
+    if (act_ok_spec.load(std::memory_order_acquire) ==
+        encodeSpec(spec))
         return;
     checkBlockDensity(act_blocks, spec, "activation", "row", "DAP");
-    act_ok_spec = spec;
+    act_ok_spec.store(encodeSpec(spec), std::memory_order_release);
 }
 
 } // namespace s2ta

@@ -12,15 +12,15 @@
  *
  * A plan borrows the GemmProblem it was built from; the problem must
  * outlive the plan. Plans are immutable after construction apart
- * from a small validation memo, so sharing one plan across models is
- * safe in single-threaded use; concurrent runs should validate once
- * up front or use separate plans.
+ * from a small validation memo, which is atomic so one plan can be
+ * shared across concurrent sweep lanes (PlanCache hands the same
+ * encoding to every design point under comparison).
  */
 
 #ifndef S2TA_ARCH_GEMM_PLAN_HH
 #define S2TA_ARCH_GEMM_PLAN_HH
 
-#include <optional>
+#include <atomic>
 
 #include "arch/array_model.hh"
 #include "core/dbb.hh"
@@ -28,6 +28,41 @@
 namespace s2ta {
 
 class GemmPlan;
+class ThreadPool;
+
+/**
+ * Implementation the mask-intersection kernel dispatches to. The
+ * SSSE3 (x86-64-v2) variant expands both compressed blocks to dense
+ * lanes with one pshufb each (the shuffle control is the positional
+ * mask's expansion permutation, looked up in a 256-entry table) and
+ * contracts them with the same madd tree as the dense kernel; it is
+ * bit-identical to the scalar rank-gather loop.
+ */
+enum class DbbKernelKind
+{
+    /** Portable rank-gather loop (dbbDotRow). */
+    Scalar,
+    /** pshufb mask-expansion + madd contraction (SSSE3). */
+    SimdV2,
+};
+
+/**
+ * True when the SSSE3 kernel was compiled in (S2TA_ENABLE_X86_64_V2)
+ * and this CPU supports it; the dispatcher falls back to the scalar
+ * kernel otherwise.
+ */
+bool dbbSimdKernelAvailable();
+
+/** The kernel dbbGemm's intersection path will actually use. */
+DbbKernelKind dbbActiveKernel();
+
+/**
+ * Test hook: pin the intersection kernel to the scalar
+ * implementation even when the SIMD one is available (for
+ * equivalence tests that compare both in one process). Not for
+ * production use; thread-safe.
+ */
+void dbbForceScalarKernel(bool force);
 
 /**
  * DBB-native functional GEMM over a plan's caches. Two exact
@@ -46,8 +81,16 @@ class GemmPlan;
  * to gemmReference (terms skipped by a mask are exactly zero; INT32
  * accumulation is order-independent). Writes the row-major m x n
  * result.
+ *
+ * When @p shard_pool is non-null the output tile grid is split into
+ * row stripes dispatched across the pool's lanes; stripes write
+ * disjoint output rows with unchanged per-element arithmetic, so the
+ * result is bitwise identical to the serial run at every thread
+ * count (this is how a single big GEMM stays parallel when the
+ * layer/group fan-out is 1).
  */
-void dbbGemm(const GemmPlan &plan, int32_t *out);
+void dbbGemm(const GemmPlan &plan, int32_t *out,
+             ThreadPool *shard_pool = nullptr);
 
 class GemmPlan
 {
@@ -132,8 +175,45 @@ class GemmPlan
     /** Same for the activation operand. */
     void checkActivations(const DbbSpec &spec) const;
 
+    // Movable (the memo atomics need explicit transfer); plans are
+    // heavyweight, so copies stay disallowed — share via PlanCache.
+    GemmPlan(GemmPlan &&o) noexcept
+        : prob(o.prob), blk_bz(o.blk_bz), is_encoded(o.is_encoded),
+          act_blocks(std::move(o.act_blocks)),
+          wgt_blocks(std::move(o.wgt_blocks)),
+          wgt_t(std::move(o.wgt_t)), prof(std::move(o.prof)),
+          wgt_ok_spec(o.wgt_ok_spec.load()),
+          act_ok_spec(o.act_ok_spec.load())
+    {}
+
+    GemmPlan &
+    operator=(GemmPlan &&o) noexcept
+    {
+        prob = o.prob;
+        blk_bz = o.blk_bz;
+        is_encoded = o.is_encoded;
+        act_blocks = std::move(o.act_blocks);
+        wgt_blocks = std::move(o.wgt_blocks);
+        wgt_t = std::move(o.wgt_t);
+        prof = std::move(o.prof);
+        wgt_ok_spec.store(o.wgt_ok_spec.load());
+        act_ok_spec.store(o.act_ok_spec.load());
+        return *this;
+    }
+
+    GemmPlan(const GemmPlan &) = delete;
+    GemmPlan &operator=(const GemmPlan &) = delete;
+
   private:
     explicit GemmPlan(const GemmProblem &p) : prob(&p) {}
+
+    /** Pack a spec into a non-zero memo word (nnz >= 1 always). */
+    static uint16_t
+    encodeSpec(const DbbSpec &spec)
+    {
+        return static_cast<uint16_t>(spec.nnz |
+                                     (spec.bz << 8));
+    }
 
     const GemmProblem *prob;
     int blk_bz = 8;
@@ -143,8 +223,12 @@ class GemmPlan
     std::vector<int8_t> wgt_t;
     OperandProfile prof;
 
-    mutable std::optional<DbbSpec> wgt_ok_spec;
-    mutable std::optional<DbbSpec> act_ok_spec;
+    // Last spec each operand was verified against (0 = none).
+    // Atomic so a cached plan shared across sweep lanes can be
+    // validated concurrently; re-validation by a racing lane is
+    // idempotent.
+    mutable std::atomic<uint16_t> wgt_ok_spec{0};
+    mutable std::atomic<uint16_t> act_ok_spec{0};
 };
 
 } // namespace s2ta

@@ -1,0 +1,228 @@
+#include "arch/plan_cache.hh"
+
+#include <cstring>
+
+namespace s2ta {
+
+uint64_t
+PlanCache::hashBytes(const void *data, size_t len, uint64_t seed)
+{
+    // FNV-1a, consumed in 8-byte strides: each stride is folded as
+    // one 64-bit unit (xor + multiply), which keeps the single
+    // sequential pass close to memory speed while remaining
+    // deterministic across platforms of the same endianness.
+    constexpr uint64_t kPrime = 0x100000001b3ull;
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint64_t h = seed;
+    size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        uint64_t chunk;
+        std::memcpy(&chunk, p + i, 8);
+        h = (h ^ chunk) * kPrime;
+    }
+    for (; i < len; ++i)
+        h = (h ^ p[i]) * kPrime;
+    return h;
+}
+
+uint64_t
+PlanCache::fingerprint(const GemmProblem &p)
+{
+    uint64_t key = 0x5157454550ull; // arbitrary domain tag
+    key = combine(key, static_cast<uint64_t>(p.m));
+    key = combine(key, static_cast<uint64_t>(p.k));
+    key = combine(key, static_cast<uint64_t>(p.n));
+    key = combine(key, hashBytes(p.a.data(), p.a.size()));
+    key = combine(key, hashBytes(p.w.data(), p.w.size()));
+    return key;
+}
+
+int64_t
+PlanCache::entryBytes(const CachedPlan &e)
+{
+    int64_t bytes = static_cast<int64_t>(e.problem.a.size()) +
+                    static_cast<int64_t>(e.problem.w.size());
+    bytes += static_cast<int64_t>(e.plan.act().vectors()) *
+             e.plan.act().blocksPerVector() *
+             static_cast<int64_t>(sizeof(DbbBlock));
+    bytes += static_cast<int64_t>(e.plan.wgt().vectors()) *
+             e.plan.wgt().blocksPerVector() *
+             static_cast<int64_t>(sizeof(DbbBlock));
+    if (e.plan.wgtDenseT() != nullptr)
+        bytes += static_cast<int64_t>(e.problem.n) * e.problem.k;
+    return bytes;
+}
+
+std::shared_ptr<const CachedPlan>
+PlanCache::lookupLocked(uint64_t key)
+{
+    const auto it = slots.find(key);
+    if (it == slots.end()) {
+        ++counters.misses;
+        return nullptr;
+    }
+    ++counters.hits;
+    lru.splice(lru.begin(), lru, it->second.lru_it);
+    return it->second.entry;
+}
+
+void
+PlanCache::insertLocked(uint64_t key,
+                        std::shared_ptr<const CachedPlan> entry)
+{
+    const auto it = slots.find(key);
+    if (it != slots.end()) {
+        // A racing thread built the same workload first; keep the
+        // resident copy (contents are deterministic and identical).
+        lru.splice(lru.begin(), lru, it->second.lru_it);
+        return;
+    }
+    lru.push_front(key);
+    counters.resident_bytes += entryBytes(*entry);
+    ++counters.entries;
+    slots.emplace(key, Slot{std::move(entry), lru.begin()});
+    while (((max_entries > 0 && slots.size() > max_entries) ||
+            (max_bytes > 0 &&
+             counters.resident_bytes > max_bytes)) &&
+           slots.size() > 1) {
+        // Never evict the just-inserted entry (front of the LRU):
+        // an over-budget single workload must still be usable.
+        const uint64_t victim = lru.back();
+        lru.pop_back();
+        const auto vit = slots.find(victim);
+        counters.resident_bytes -= entryBytes(*vit->second.entry);
+        --counters.entries;
+        slots.erase(vit);
+        ++counters.evictions;
+    }
+}
+
+std::shared_ptr<const CachedPlan>
+PlanCache::acquire(const GemmProblem &p, int bz, bool dense_mirror)
+{
+    auto entry = acquireKeyed(fingerprint(p), bz, dense_mirror,
+                              [&p] { return p; });
+    // Cross-check the geometry against the resident operands: a
+    // 64-bit fingerprint collision between distinct workloads
+    // would otherwise return a wrong plan silently. (Same-dims
+    // content collisions remain theoretically possible at ~2^-64;
+    // a full memcmp would cost as much as the hash itself.)
+    s2ta_assert(entry->problem.m == p.m &&
+                entry->problem.k == p.k &&
+                entry->problem.n == p.n,
+                "plan cache fingerprint collision (%dx%dx%d vs "
+                "%dx%dx%d)", p.m, p.k, p.n, entry->problem.m,
+                entry->problem.k, entry->problem.n);
+    return entry;
+}
+
+std::shared_ptr<const CachedPlan>
+PlanCache::acquireKeyed(uint64_t key, int bz, bool dense_mirror,
+                        const std::function<GemmProblem()> &lower)
+{
+    key = combine(key, static_cast<uint64_t>(bz) |
+                           (dense_mirror ? 0x100u : 0u));
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (auto hit = lookupLocked(key))
+            return hit;
+    }
+    // Lower and encode outside the lock: plan construction is the
+    // expensive part and must not serialize concurrent sweep lanes.
+    auto entry =
+        std::make_shared<const CachedPlan>(lower(), bz, dense_mirror);
+    std::lock_guard<std::mutex> lk(mu);
+    insertLocked(key, entry);
+    return entry;
+}
+
+std::vector<std::shared_ptr<const CachedPlan>>
+PlanCache::acquireLayer(
+    uint64_t key, int groups, int bz, bool dense_mirror,
+    const std::function<std::vector<GemmProblem>()> &lower_all,
+    const std::function<GemmProblem(int)> &lower_one)
+{
+    s2ta_assert(groups >= 1, "groups %d", groups);
+    const uint64_t base = combine(
+        key, static_cast<uint64_t>(bz) |
+                 (dense_mirror ? 0x100u : 0u));
+    std::vector<std::shared_ptr<const CachedPlan>> out(
+        static_cast<size_t>(groups));
+
+    int absent = 0;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        for (int g = 0; g < groups; ++g) {
+            out[static_cast<size_t>(g)] = lookupLocked(
+                combine(base, static_cast<uint64_t>(g)));
+            if (!out[static_cast<size_t>(g)])
+                ++absent;
+        }
+    }
+    if (absent == 0)
+        return out;
+
+    // Whole-layer miss: lower every group in one batched pass (the
+    // activation tensor is walked once for all groups). Partial
+    // miss (a few groups evicted mid-sweep): re-lower only the
+    // absent ones instead of redoing the whole layer.
+    std::vector<GemmProblem> problems;
+    if (absent == groups) {
+        problems = lower_all();
+        s2ta_assert(problems.size() == static_cast<size_t>(groups),
+                    "lower_all returned %zu of %d groups",
+                    problems.size(), groups);
+    }
+    for (int g = 0; g < groups; ++g) {
+        auto &slot = out[static_cast<size_t>(g)];
+        if (slot)
+            continue;
+        slot = std::make_shared<const CachedPlan>(
+            problems.empty()
+                ? lower_one(g)
+                : std::move(problems[static_cast<size_t>(g)]),
+            bz, dense_mirror);
+        std::lock_guard<std::mutex> lk(mu);
+        insertLocked(combine(base, static_cast<uint64_t>(g)), slot);
+    }
+    return out;
+}
+
+DapStats
+PlanCache::dapStats(uint64_t key,
+                    const std::function<DapStats()> &compute)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        const auto it = dap_memo.find(key);
+        if (it != dap_memo.end()) {
+            ++counters.dap_hits;
+            return it->second;
+        }
+        ++counters.dap_misses;
+    }
+    const DapStats st = compute();
+    std::lock_guard<std::mutex> lk(mu);
+    dap_memo.emplace(key, st);
+    return st;
+}
+
+PlanCache::Stats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return counters;
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    slots.clear();
+    lru.clear();
+    dap_memo.clear();
+    counters.entries = 0;
+    counters.resident_bytes = 0;
+}
+
+} // namespace s2ta

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Cross-run plan cache for architecture sweeps.
+ *
+ * The compressed DBB form of a workload is config-independent: the
+ * same encoded GemmPlan serves every array geometry, SMT depth, and
+ * sparsity bound under comparison, so a sweep over many design
+ * points only needs to im2col-lower and encode each workload once.
+ * The cache keys entries by operand *content* (a 64-bit FNV-1a
+ * fingerprint of both operand byte arrays plus the GEMM dims, the
+ * DBB block size, and whether the dense weight mirror was
+ * materialized): mutated operands re-fingerprint on every call and
+ * therefore can never hit a stale entry, so results are bitwise
+ * identical with caching on or off. Hits are decided by the
+ * fingerprint; acquire() cross-checks the dims on a hit, leaving
+ * only the ~2^-64 same-dims content collision undetected.
+ *
+ * Entries own their GemmProblem (plans borrow the problem they were
+ * built from), so cached plans stay valid after the caller's problem
+ * dies. Lookups and inserts are mutex-guarded; plan construction
+ * runs outside the lock, and when two threads race to build the same
+ * key the first insert wins (plan contents are deterministic, so
+ * either copy is correct). Eviction is strict LRU over a
+ * caller-chosen entry budget and therefore deterministic for any
+ * single-threaded access sequence.
+ */
+
+#ifndef S2TA_ARCH_PLAN_CACHE_HH
+#define S2TA_ARCH_PLAN_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/gemm_plan.hh"
+#include "core/dap.hh"
+
+namespace s2ta {
+
+/** One cached workload: the owned operands plus their encoded plan. */
+struct CachedPlan
+{
+    CachedPlan(GemmProblem p, int bz, bool dense_mirror)
+        : problem(std::move(p)),
+          plan(GemmPlan::build(problem, bz, dense_mirror))
+    {}
+
+    const GemmProblem problem;
+    const GemmPlan plan;
+};
+
+class PlanCache
+{
+  public:
+    /** Cache effectiveness counters. */
+    struct Stats
+    {
+        /** Plan-entry lookups that found a resident encoding. */
+        int64_t hits = 0;
+        /** Plan-entry lookups that had to lower + encode. */
+        int64_t misses = 0;
+        int64_t evictions = 0;
+        /** Plan entries currently resident. */
+        int64_t entries = 0;
+        /** Operand + mirror bytes held by resident entries. */
+        int64_t resident_bytes = 0;
+        /** DAP-memo lookups, counted separately so plan hit rates
+         *  in bench artifacts stay meaningful. */
+        int64_t dap_hits = 0;
+        int64_t dap_misses = 0;
+    };
+
+    /**
+     * @param max_entries LRU entry capacity; 0 means unbounded
+     *        (sweep drivers usually hold every workload of one
+     *        model).
+     * @param max_bytes LRU resident-byte budget (operands +
+     *        encodings + mirrors); 0 means unbounded. Entries are
+     *        evicted least-recently-used until both caps hold.
+     */
+    explicit PlanCache(size_t max_entries = 0,
+                       int64_t max_bytes = 0)
+        : max_entries(max_entries), max_bytes(max_bytes)
+    {}
+
+    PlanCache(const PlanCache &) = delete;
+    PlanCache &operator=(const PlanCache &) = delete;
+
+    /**
+     * Plan for @p p's operands, encoded at block size @p bz. The
+     * operands are fingerprinted on every call, so a stale entry can
+     * never be returned for mutated data; on a miss the problem is
+     * copied into the new entry.
+     */
+    std::shared_ptr<const CachedPlan> acquire(const GemmProblem &p,
+                                              int bz,
+                                              bool dense_mirror);
+
+    /**
+     * Keyed variant for callers that can identify the workload
+     * without materializing it (e.g. a conv layer before im2col
+     * lowering): @p key must already distinguish operand content
+     * (hash the source tensors with hashBytes). @p lower runs only
+     * on a miss and produces the problem to encode.
+     */
+    std::shared_ptr<const CachedPlan>
+    acquireKeyed(uint64_t key, int bz, bool dense_mirror,
+                 const std::function<GemmProblem()> &lower);
+
+    /**
+     * Batched layer variant: one entry per convolution group, all
+     * lowered in a single pass on a whole-layer miss. @p lower_all
+     * must return exactly @p groups problems (group-major). Group g
+     * is keyed as combine(key, g); a layer whose groups are all
+     * resident costs only @p groups lookups. On a *partial* miss
+     * (some groups evicted mid-sweep), only the absent groups are
+     * re-lowered via @p lower_one.
+     */
+    std::vector<std::shared_ptr<const CachedPlan>>
+    acquireLayer(uint64_t key, int groups, int bz, bool dense_mirror,
+                 const std::function<std::vector<GemmProblem>()>
+                     &lower_all,
+                 const std::function<GemmProblem(int)> &lower_one);
+
+    /**
+     * Memoized DAP comparator statistics. The DAP array prunes a
+     * deployed model's activations once as they stream into the
+     * SRAM; its comparator counts are a pure function of (tensor
+     * content, NNZ bound) — independent of the array geometry — so
+     * a sweep over array configs computes them once per layer.
+     * @p key must identify tensor content and bound (hashBytes +
+     * combine); @p compute runs only on a miss. DAP entries live
+     * outside the LRU (they are a few counters, not plans).
+     */
+    DapStats dapStats(uint64_t key,
+                      const std::function<DapStats()> &compute);
+
+    Stats stats() const;
+
+    /** Drop every entry (counters keep accumulating). */
+    void clear();
+
+    /** FNV-1a 64-bit content hash (8-byte strides + byte tail). */
+    static uint64_t hashBytes(const void *data, size_t len,
+                              uint64_t seed = 0xcbf29ce484222325ull);
+
+    /** Order-dependent mix of a value into a running key. */
+    static uint64_t
+    combine(uint64_t key, uint64_t value)
+    {
+        // splitmix64 finalizer over the xor keeps single-bit key
+        // differences from colliding after further combines.
+        uint64_t x = key ^ (value + 0x9e3779b97f4a7c15ull);
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ull;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebull;
+        x ^= x >> 31;
+        return x;
+    }
+
+    /** Content + geometry fingerprint of a GEMM problem. */
+    static uint64_t fingerprint(const GemmProblem &p);
+
+  private:
+    /** Bytes an entry pins in memory (operands + dense mirror). */
+    static int64_t entryBytes(const CachedPlan &e);
+
+    std::shared_ptr<const CachedPlan> lookupLocked(uint64_t key);
+    void insertLocked(uint64_t key,
+                      std::shared_ptr<const CachedPlan> entry);
+
+    struct Slot
+    {
+        std::shared_ptr<const CachedPlan> entry;
+        /** Position in lru (most recent at front). */
+        std::list<uint64_t>::iterator lru_it;
+    };
+
+    const size_t max_entries;
+    const int64_t max_bytes;
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Slot> slots;
+    std::list<uint64_t> lru;
+    std::unordered_map<uint64_t, DapStats> dap_memo;
+    Stats counters;
+};
+
+} // namespace s2ta
+
+#endif // S2TA_ARCH_PLAN_CACHE_HH

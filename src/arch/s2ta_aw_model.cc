@@ -95,7 +95,7 @@ S2taAwModel::simulate(const GemmPlan &plan, const RunOptions &opt,
         // products at intersecting mask positions, so the datapath
         // result is the mask-intersection dot product of the cached
         // encodings.
-        dbbGemm(plan, out.output.data());
+        dbbGemm(plan, out.output.data(), opt.shard_pool);
         return;
     }
 

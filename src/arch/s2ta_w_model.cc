@@ -102,7 +102,7 @@ S2taWModel::simulate(const GemmPlan &plan, const RunOptions &opt,
         // activations at the weight mask's positions, and zero
         // activations contribute nothing, so the datapath result is
         // the mask-intersection dot product of the cached encodings.
-        dbbGemm(plan, out.output.data());
+        dbbGemm(plan, out.output.data(), opt.shard_pool);
         return;
     }
 

@@ -16,7 +16,6 @@ SaModel::simulate(const GemmPlan &plan, const RunOptions &opt,
                   GemmRun &out) const
 {
     const GemmProblem &p = plan.problem();
-    const bool scalar = usesScalarEngine(plan, opt);
     const OperandProfile prof = profileFor(plan, opt);
     EventCounts &ev = out.events;
     const bool zvcg = cfg.kind == ArchKind::SaZvcg;
@@ -74,7 +73,7 @@ SaModel::simulate(const GemmPlan &plan, const RunOptions &opt,
     // Dense MAC order sums the same INT32 products; terms with a
     // zero operand are exactly zero, so the fast engine's kernels
     // are bit-identical to gemmReference here.
-    referenceOutput(plan, scalar, out);
+    referenceOutput(plan, opt, out);
 }
 
 } // namespace s2ta

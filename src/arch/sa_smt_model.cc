@@ -118,20 +118,43 @@ SaSmtModel::simulate(const GemmPlan &plan, const RunOptions &opt,
                 col0 + static_cast<int>(rng.uniformInt(0, cols - 1));
             // Thread th owns the contiguous K chunk
             // [th*slots_per_thread, ...).
-            for (int slot = 0; slot < slots_per_thread; ++slot) {
-                int arr = 0;
-                for (int th = 0; th < tcount; ++th) {
-                    const int kk = th * slots_per_thread + slot;
-                    if (kk >= p.k)
-                        continue;
-                    const bool matched = scalar
-                        ? (p.actAt(i, kk) != 0 && p.wgtAt(kk, j) != 0)
-                        : (plan.actNonZero(i, kk) &&
-                           plan.wgtNonZero(kk, j));
-                    if (matched)
-                        ++arr;
+            if (scalar) {
+                for (int slot = 0; slot < slots_per_thread;
+                     ++slot) {
+                    int arr = 0;
+                    for (int th = 0; th < tcount; ++th) {
+                        const int kk =
+                            th * slots_per_thread + slot;
+                        if (kk >= p.k)
+                            continue;
+                        if (p.actAt(i, kk) != 0 &&
+                            p.wgtAt(kk, j) != 0)
+                            ++arr;
+                    }
+                    arrivals[static_cast<size_t>(slot)] = arr;
                 }
-                arrivals[static_cast<size_t>(slot)] = arr;
+            } else {
+                // DBB-native sampling: one mask AND yields all
+                // matched positions of a block pair at once, so
+                // building the arrival histogram is O(matched)
+                // instead of O(k) per sampled PE. Counts are
+                // identical to the per-element scan (tail padding
+                // positions are never set in any mask).
+                std::fill(arrivals.begin(), arrivals.end(), 0);
+                const DbbBlock *arow = plan.act().vectorBlocks(i);
+                const DbbBlock *wcol = plan.wgt().vectorBlocks(j);
+                const int nb = plan.act().blocksPerVector();
+                const int bz = plan.bz();
+                for (int b = 0; b < nb; ++b) {
+                    for (Mask8 m = maskAnd(arow[b].mask,
+                                           wcol[b].mask);
+                         m; m = maskClearLowest(m)) {
+                        const int kk =
+                            b * bz + maskLowestSetBit(m);
+                        ++arrivals[static_cast<size_t>(
+                            kk % slots_per_thread)];
+                    }
+                }
             }
             worst = std::max(worst, queueCycles(arrivals, qdepth));
         }
@@ -144,7 +167,7 @@ SaSmtModel::simulate(const GemmPlan &plan, const RunOptions &opt,
 
     if (!opt.compute_output)
         return;
-    referenceOutput(plan, scalar, out);
+    referenceOutput(plan, opt, out);
 }
 
 } // namespace s2ta

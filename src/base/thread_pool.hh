@@ -25,6 +25,7 @@
 #ifndef S2TA_BASE_THREAD_POOL_HH
 #define S2TA_BASE_THREAD_POOL_HH
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -137,6 +138,30 @@ class ThreadPool
         });
         if (current == job)
             current.reset();
+    }
+
+    /**
+     * Run fn(begin, end) over [0, n) split into contiguous stripes
+     * of at most @p stripe indices, dispatched with parallelFor.
+     * The intra-GEMM sharding primitive: stripes own disjoint index
+     * ranges (callers write disjoint output rows), so results are
+     * bitwise identical to one fn(0, n) call at any lane count.
+     */
+    template <typename Fn>
+    void
+    parallelForStripes(int64_t n, int64_t stripe, Fn &&fn)
+    {
+        s2ta_assert(stripe > 0, "stripe %ld", stripe);
+        const int64_t stripes = (n + stripe - 1) / stripe;
+        if (stripes <= 1) {
+            if (n > 0)
+                fn(static_cast<int64_t>(0), n);
+            return;
+        }
+        parallelFor(stripes, [&](int64_t s) {
+            const int64_t begin = s * stripe;
+            fn(begin, std::min(n, begin + stripe));
+        });
     }
 
   private:

@@ -1,5 +1,7 @@
 #include "tensor/conv.hh"
 
+#include <cstring>
+
 namespace s2ta {
 
 namespace {
@@ -112,6 +114,77 @@ im2colLower(const Conv2dShape &shape, const Int8Tensor &input,
         }
     }
     return p;
+}
+
+std::vector<GemmProblem>
+im2colLowerAll(const Conv2dShape &shape, const Int8Tensor &input,
+               const Int8Tensor &weights, int channel_align)
+{
+    s2ta_assert(shape.valid(), "invalid conv shape");
+    s2ta_assert(channel_align > 0, "channel_align=%d", channel_align);
+
+    const int oh = shape.outH(), ow = shape.outW();
+    const int gc = shape.groupInC();
+    const int gn = shape.groupOutC();
+    const int seg = alignUp(gc, channel_align);
+    const int k = shape.kernel_h * shape.kernel_w * seg;
+    const int groups = shape.groups;
+
+    std::vector<GemmProblem> out;
+    out.reserve(static_cast<size_t>(groups));
+    for (int g = 0; g < groups; ++g)
+        out.emplace_back(oh * ow, k, gn);
+
+    // Activation matrices: the tap-bounds arithmetic runs once per
+    // (pixel, tap) for all groups, and each input channel row
+    // (contiguous in NHWC) is scattered to the group matrices with
+    // one contiguous copy per group.
+    for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+            const int row = oy * ow + ox;
+            for (int ky = 0; ky < shape.kernel_h; ++ky) {
+                const int iy = oy * shape.stride + ky - shape.pad;
+                if (iy < 0 || iy >= shape.in_h)
+                    continue; // zero padding already in place
+                for (int kx = 0; kx < shape.kernel_w; ++kx) {
+                    const int ix = ox * shape.stride + kx - shape.pad;
+                    if (ix < 0 || ix >= shape.in_w)
+                        continue;
+                    const int kbase =
+                        (ky * shape.kernel_w + kx) * seg;
+                    const int8_t *src = &input(iy, ix, 0);
+                    for (int g = 0; g < groups; ++g) {
+                        std::memcpy(
+                            &out[static_cast<size_t>(g)]
+                                 .a[static_cast<size_t>(row) * k +
+                                    kbase],
+                            src + static_cast<size_t>(g) * gc,
+                            static_cast<size_t>(gc));
+                    }
+                }
+            }
+        }
+    }
+
+    // Weight matrices: the output-channel dimension is contiguous,
+    // so each (tap, channel) row is split across groups with one
+    // contiguous copy per group.
+    for (int ky = 0; ky < shape.kernel_h; ++ky) {
+        for (int kx = 0; kx < shape.kernel_w; ++kx) {
+            const int kbase = (ky * shape.kernel_w + kx) * seg;
+            for (int c = 0; c < gc; ++c) {
+                const int8_t *src = &weights(ky, kx, c, 0);
+                for (int g = 0; g < groups; ++g) {
+                    std::memcpy(
+                        &out[static_cast<size_t>(g)]
+                             .w[static_cast<size_t>(kbase + c) * gn],
+                        src + static_cast<size_t>(g) * gn,
+                        static_cast<size_t>(gn));
+                }
+            }
+        }
+    }
+    return out;
 }
 
 void

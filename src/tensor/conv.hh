@@ -106,6 +106,22 @@ GemmProblem im2colLower(const Conv2dShape &shape,
                         int channel_align = 8);
 
 /**
+ * Batched im2col: lower every group of a convolution in one pass.
+ *
+ * Identical output to calling im2colLower for each group in turn
+ * (element for element), but the input tensor's channel rows and
+ * the weight taps are each walked once for all groups instead of
+ * once per group — the win grows with the group count and makes a
+ * depthwise layer's activations lower in a single sweep.
+ *
+ * @return one GemmProblem per group, indexed by group.
+ */
+std::vector<GemmProblem> im2colLowerAll(const Conv2dShape &shape,
+                                        const Int8Tensor &input,
+                                        const Int8Tensor &weights,
+                                        int channel_align = 8);
+
+/**
  * Scatter a GEMM result for one group back into the output tensor.
  *
  * @param shape convolution geometry.

@@ -1,0 +1,271 @@
+/** @file Tests for the cross-run PlanCache: hit/miss accounting,
+ *  deterministic LRU eviction, mutation safety via content
+ *  fingerprints, the DAP memo, and — the load-bearing property —
+ *  bitwise-identical results with caching on vs off across array
+ *  configs, engines, and thread counts. */
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.hh"
+#include "arch/plan_cache.hh"
+#include "workload/sparse_gen.hh"
+
+namespace s2ta {
+namespace {
+
+GemmProblem
+smallGemm(uint64_t seed, int m = 24, int k = 64, int n = 16)
+{
+    Rng rng(seed);
+    return makeDbbGemm(m, k, n, 4, 4, rng);
+}
+
+TEST(PlanCache, HitMissAccounting)
+{
+    PlanCache cache;
+    const GemmProblem p = smallGemm(0xA0);
+
+    const auto e1 = cache.acquire(p, 8, /*dense_mirror=*/false);
+    EXPECT_EQ(cache.stats().misses, 1);
+    EXPECT_EQ(cache.stats().hits, 0);
+    EXPECT_EQ(cache.stats().entries, 1);
+
+    const auto e2 = cache.acquire(p, 8, false);
+    EXPECT_EQ(cache.stats().misses, 1);
+    EXPECT_EQ(cache.stats().hits, 1);
+    EXPECT_EQ(e1.get(), e2.get()) << "hit must return same entry";
+
+    // A different mirror flag is a different entry (the plan
+    // contents differ), as is a different block size.
+    cache.acquire(p, 8, true);
+    cache.acquire(p, 4, false);
+    EXPECT_EQ(cache.stats().misses, 3);
+    EXPECT_EQ(cache.stats().entries, 3);
+    EXPECT_GT(cache.stats().resident_bytes, 0);
+}
+
+TEST(PlanCache, FingerprintGuardsMutatedOperands)
+{
+    PlanCache cache;
+    GemmProblem p = smallGemm(0xA1);
+    cache.acquire(p, 8, false);
+
+    // Mutating the operands must never return the stale plan.
+    p.a[3] = static_cast<int8_t>(p.a[3] + 1);
+    const auto e = cache.acquire(p, 8, false);
+    EXPECT_EQ(cache.stats().misses, 2);
+    EXPECT_EQ(e->problem.a[3], p.a[3]);
+}
+
+TEST(PlanCache, EvictionIsLruAndDeterministic)
+{
+    const GemmProblem a = smallGemm(0xB0);
+    const GemmProblem b = smallGemm(0xB1);
+    const GemmProblem c = smallGemm(0xB2);
+
+    const auto run = [&](PlanCache &cache) {
+        cache.acquire(a, 8, false);
+        cache.acquire(b, 8, false);
+        cache.acquire(a, 8, false); // promote a over b
+        cache.acquire(c, 8, false); // evicts b (LRU)
+        cache.acquire(a, 8, false); // still resident
+        cache.acquire(b, 8, false); // must be a miss again
+        return cache.stats();
+    };
+
+    PlanCache c1(/*max_entries=*/2);
+    const PlanCache::Stats s1 = run(c1);
+    EXPECT_EQ(s1.misses, 4) << "a, b, c, then b again";
+    EXPECT_EQ(s1.hits, 2);
+    EXPECT_EQ(s1.evictions, 2);
+    EXPECT_EQ(s1.entries, 2);
+
+    // The same access sequence on a fresh cache produces exactly
+    // the same accounting: eviction order is deterministic.
+    PlanCache c2(2);
+    const PlanCache::Stats s2 = run(c2);
+    EXPECT_EQ(s1.misses, s2.misses);
+    EXPECT_EQ(s1.hits, s2.hits);
+    EXPECT_EQ(s1.evictions, s2.evictions);
+    EXPECT_EQ(s1.resident_bytes, s2.resident_bytes);
+}
+
+TEST(PlanCache, ByteBudgetEvictsButKeepsNewestEntry)
+{
+    // A budget smaller than one entry: the newest entry must stay
+    // usable (a sweep over one oversized workload still works).
+    PlanCache cache(0, /*max_bytes=*/1);
+    const GemmProblem a = smallGemm(0xC0);
+    const GemmProblem b = smallGemm(0xC1);
+    cache.acquire(a, 8, false);
+    EXPECT_EQ(cache.stats().entries, 1);
+    cache.acquire(b, 8, false);
+    EXPECT_EQ(cache.stats().entries, 1);
+    EXPECT_EQ(cache.stats().evictions, 1);
+    // b is the resident entry now.
+    cache.acquire(b, 8, false);
+    EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(PlanCache, DapMemoComputesOnce)
+{
+    PlanCache cache;
+    int computed = 0;
+    const auto compute = [&] {
+        ++computed;
+        DapStats st;
+        st.comparisons = 123;
+        return st;
+    };
+    const uint64_t key = PlanCache::combine(0xD0, 7);
+    EXPECT_EQ(cache.dapStats(key, compute).comparisons, 123);
+    EXPECT_EQ(cache.dapStats(key, compute).comparisons, 123);
+    EXPECT_EQ(computed, 1);
+    // A different key computes again.
+    cache.dapStats(PlanCache::combine(0xD0, 8), compute);
+    EXPECT_EQ(computed, 2);
+}
+
+TEST(PlanCache, CachedGemmRunsAreBitwiseIdentical)
+{
+    Rng rng(0xE0);
+    for (int trial = 0; trial < 6; ++trial) {
+        const int m = static_cast<int>(rng.uniformInt(1, 80));
+        const int k = 8 * static_cast<int>(rng.uniformInt(1, 24));
+        const int n = static_cast<int>(rng.uniformInt(1, 64));
+        const GemmProblem p = makeDbbGemm(m, k, n, 4, 4, rng);
+
+        for (const ArrayConfig &cfg :
+             {ArrayConfig::s2taW(), ArrayConfig::s2taAw(4),
+              ArrayConfig::saZvcg(), ArrayConfig::saSmt(2)}) {
+            const auto model = makeArrayModel(cfg);
+            RunOptions plain;
+            plain.compute_output = true;
+            const GemmRun ref = model->run(p, plain);
+
+            PlanCache cache;
+            RunOptions cached = plain;
+            cached.plan_cache = &cache;
+            const GemmRun cold = model->run(p, cached);
+            const GemmRun warm = model->run(p, cached);
+            EXPECT_GE(cache.stats().hits, 1);
+
+            RunOptions scalar = plain;
+            scalar.engine = EngineKind::Scalar;
+            const GemmRun sc = model->run(p, scalar);
+
+            for (const GemmRun *r : {&cold, &warm, &sc}) {
+                EXPECT_EQ(r->output, ref.output)
+                    << cfg.name() << " trial " << trial;
+                EXPECT_TRUE(r->events == ref.events)
+                    << cfg.name() << " trial " << trial;
+            }
+        }
+    }
+}
+
+std::vector<LayerWorkload>
+testNetwork(Rng &rng)
+{
+    std::vector<LayerWorkload> layers;
+    for (int groups : {1, 4, 16}) {
+        LayerWorkload wl;
+        wl.name = "l" + std::to_string(groups);
+        const int in_c = 16, out_c = 16;
+        const int gc = in_c / groups;
+        wl.shape = {in_c, 10, 10, out_c, 3, 3, 1, 1, groups};
+        wl.act_nnz = 4;
+        wl.wgt_nnz = 4;
+        wl.input = makeDbbTensor({10, 10, in_c}, 4, rng);
+        const Int8Tensor tmp =
+            makeDbbTensor({3, 3, out_c, gc}, std::min(4, gc), rng);
+        wl.weights = Int8Tensor({3, 3, gc, out_c});
+        for (int ky = 0; ky < 3; ++ky)
+            for (int kx = 0; kx < 3; ++kx)
+                for (int c = 0; c < gc; ++c)
+                    for (int oc = 0; oc < out_c; ++oc)
+                        wl.weights(ky, kx, c, oc) =
+                            tmp(ky, kx, oc, c);
+        layers.push_back(std::move(wl));
+    }
+    return layers;
+}
+
+TEST(PlanCache, NetworkSweepIdenticalAcrossCacheAndThreads)
+{
+    Rng rng(0xE1);
+    const std::vector<LayerWorkload> layers = testNetwork(rng);
+    const std::vector<ArrayConfig> sweep = {
+        ArrayConfig::saZvcg(), ArrayConfig::s2taW(),
+        ArrayConfig::s2taAw(4)};
+
+    // Reference: serial, no cache.
+    std::vector<NetworkRun> ref;
+    for (const ArrayConfig &cfg : sweep) {
+        AcceleratorConfig acfg;
+        acfg.array = cfg;
+        acfg.sim_threads = 1;
+        NetworkRunOptions opt;
+        opt.compute_output = true;
+        ref.push_back(
+            Accelerator(acfg).runNetwork(layers, opt));
+    }
+
+    for (int threads : {1, 0, 3}) {
+        PlanCache cache;
+        for (size_t c = 0; c < sweep.size(); ++c) {
+            AcceleratorConfig acfg;
+            acfg.array = sweep[c];
+            acfg.sim_threads = threads;
+            NetworkRunOptions opt;
+            opt.compute_output = true;
+            opt.plan_cache = &cache;
+            const NetworkRun nr =
+                Accelerator(acfg).runNetwork(layers, opt);
+            ASSERT_EQ(nr.layers.size(), ref[c].layers.size());
+            EXPECT_TRUE(nr.total == ref[c].total)
+                << sweep[c].name() << " threads=" << threads;
+            for (size_t i = 0; i < nr.layers.size(); ++i) {
+                EXPECT_TRUE(nr.layers[i].output ==
+                            ref[c].layers[i].output)
+                    << sweep[c].name() << " threads=" << threads
+                    << " layer " << i;
+                EXPECT_TRUE(nr.layers[i].events ==
+                            ref[c].layers[i].events)
+                    << sweep[c].name() << " threads=" << threads
+                    << " layer " << i;
+            }
+        }
+        // The second and third configs share the DBB-side plans;
+        // the sweep must hit for every reused layer.
+        EXPECT_GT(cache.stats().hits, 0) << "threads=" << threads;
+    }
+}
+
+TEST(PlanCache, AcquireLayerBatchesAndHits)
+{
+    Rng rng(0xE2);
+    const std::vector<LayerWorkload> layers = testNetwork(rng);
+    PlanCache cache;
+    AcceleratorConfig acfg;
+    acfg.array = ArrayConfig::s2taAw(4);
+    acfg.sim_threads = 1;
+    const Accelerator acc(acfg);
+    NetworkRunOptions opt;
+    opt.plan_cache = &cache;
+
+    (void)acc.runNetwork(layers, opt);
+    const PlanCache::Stats cold = cache.stats();
+    // One entry per (layer, group): 1 + 4 + 16, plus DAP memo
+    // misses per layer.
+    EXPECT_EQ(cold.entries, 21);
+
+    (void)acc.runNetwork(layers, opt);
+    const PlanCache::Stats warm = cache.stats();
+    EXPECT_EQ(warm.misses, cold.misses)
+        << "second pass must not re-encode anything";
+    EXPECT_GT(warm.hits, cold.hits);
+}
+
+} // anonymous namespace
+} // namespace s2ta

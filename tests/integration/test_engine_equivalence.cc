@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include "arch/accelerator.hh"
+#include "arch/gemm_plan.hh"
 #include "arch/models.hh"
+#include "base/thread_pool.hh"
 #include "workload/sparse_gen.hh"
 
 namespace s2ta {
@@ -157,6 +159,63 @@ TEST(EngineEquivalence, GroupedAndDepthwiseLayers)
             EXPECT_EQ(fr.events.macs_executed,
                       sr.events.macs_executed);
         }
+    }
+}
+
+TEST(EngineEquivalence, TileStripeShardingIsBitwiseIdentical)
+{
+    // m > 256 so the output grid splits into several row stripes;
+    // sweep sparsity so both the intersection and the dense-mirror
+    // kernels run sharded.
+    Rng rng(0xE5);
+    for (int nnz : {1, 4, 8}) {
+        const GemmProblem p =
+            makeDbbGemm(700, 128, 48, std::min(nnz, 4), nnz, rng);
+        for (const ArrayConfig &cfg :
+             {ArrayConfig::s2taW(), ArrayConfig::s2taAw(4),
+              ArrayConfig::saZvcg()}) {
+            const auto model = makeArrayModel(cfg);
+            RunOptions serial;
+            serial.compute_output = true;
+            serial.validate_operands = false; // nnz=8 is dense
+            const GemmRun a = model->run(p, serial);
+            for (int workers : {1, 3}) {
+                ThreadPool pool(workers);
+                RunOptions sharded = serial;
+                sharded.shard_pool = &pool;
+                const GemmRun b = model->run(p, sharded);
+                EXPECT_EQ(a.output, b.output)
+                    << cfg.name() << " nnz=" << nnz
+                    << " workers=" << workers;
+                EXPECT_TRUE(a.events == b.events);
+            }
+        }
+    }
+}
+
+TEST(EngineEquivalence, SimdV2KernelMatchesScalarKernel)
+{
+    // With the x86-64-v2 build off (or an old CPU) this pins the
+    // dispatcher to the scalar kernel twice — trivially equal; with
+    // it on, it is the SSSE3-vs-scalar bitwise check.
+    Rng rng(0xE6);
+    // Sparse operating point so dbbGemm picks the intersection
+    // kernel (the dense-mirror path bypasses the dispatcher).
+    const GemmProblem p = makeDbbGemm(300, 512, 40, 2, 2, rng);
+    const auto model = makeArrayModel(ArrayConfig::s2taAw(2));
+    RunOptions opt;
+    opt.compute_output = true;
+
+    dbbForceScalarKernel(true);
+    EXPECT_EQ(dbbActiveKernel(), DbbKernelKind::Scalar);
+    const GemmRun scalar_kernel = model->run(p, opt);
+    dbbForceScalarKernel(false);
+    const GemmRun auto_kernel = model->run(p, opt);
+
+    EXPECT_EQ(scalar_kernel.output, auto_kernel.output);
+    EXPECT_EQ(auto_kernel.output, gemmReference(p));
+    if (dbbSimdKernelAvailable()) {
+        EXPECT_EQ(dbbActiveKernel(), DbbKernelKind::SimdV2);
     }
 }
 
