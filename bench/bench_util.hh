@@ -248,6 +248,19 @@ inline SweepContext::SweepContext() : SweepContext(Options{}) {}
 
 // ---- shared CLI flags ------------------------------------------------
 
+/**
+ * The full shared flag set, for error messages: every rejection
+ * names the offending flag *and* this list, so a user never has to
+ * read the source to learn what a binary accepts.
+ */
+inline const char *
+benchFlagList()
+{
+    return "--engine scalar|fast, --threads N, --json PATH, "
+           "--no-plan-cache, --smoke, --model NAME, --arch NAME, "
+           "--reps N";
+}
+
 /** Options common to every bench binary. */
 struct BenchArgs
 {
@@ -270,13 +283,22 @@ struct BenchArgs
     bool threads_given = false;
     bool plan_cache_given = false;
 
-    /** Fatal unless flag @p name was left at its default. */
+    /**
+     * Fatal unless flag @p name was left at its default. The error
+     * names the offending flag, the reason this experiment pins it,
+     * and the shared flag set the binary otherwise accepts.
+     */
     void
     rejectFlag(bool given, const char *name,
                const char *why) const
     {
-        if (given)
-            s2ta_fatal("%s is not applicable here: %s", name, why);
+        if (given) {
+            s2ta_fatal("flag %s is not applicable to this binary: "
+                       "%s (the shared bench flag set is: %s; this "
+                       "binary accepts the subset it does not "
+                       "reject)",
+                       name, why, benchFlagList());
+        }
     }
 };
 
@@ -328,10 +350,8 @@ parseBenchArgs(int argc, char **argv)
             if (a.reps < 1)
                 s2ta_fatal("--reps must be >= 1");
         } else {
-            s2ta_fatal("unknown argument '%s' (flags: --engine "
-                       "scalar|fast, --threads N, --json PATH, "
-                       "--no-plan-cache, --smoke, --model NAME, "
-                       "--arch NAME, --reps N)", arg.c_str());
+            s2ta_fatal("unknown argument '%s' (accepted flags: %s)",
+                       arg.c_str(), benchFlagList());
         }
     }
     return a;
@@ -375,22 +395,8 @@ bitwiseEqualRuns(const NetworkRun &a, const NetworkRun &b)
     return true;
 }
 
-/** Zoo model by CLI name; fatal on unknown names. */
-inline ModelSpec
-modelByName(const std::string &name)
-{
-    if (name == "lenet5")
-        return leNet5();
-    if (name == "alexnet")
-        return alexNet();
-    if (name == "vgg16")
-        return vgg16();
-    if (name == "mobilenetv1")
-        return mobileNetV1();
-    if (name == "resnet50")
-        return resNet50();
-    s2ta_fatal("unknown model '%s'", name.c_str());
-}
+// Zoo-model lookup by CLI name lives in nn/model_zoo.hh
+// (s2ta::modelByName); the serving registry shares it.
 
 // ---- JSON artifacts --------------------------------------------------
 

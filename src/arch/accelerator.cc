@@ -26,7 +26,7 @@ layerPlanKey(const LayerWorkload &wl, int channel_align,
     const Conv2dShape &s = wl.shape;
     for (int field : {s.in_c, s.in_h, s.in_w, s.out_c, s.kernel_h,
                       s.kernel_w, s.stride, s.pad, s.groups,
-                      channel_align}) {
+                      wl.batch, channel_align}) {
         key = PlanCache::combine(key,
                                  static_cast<uint64_t>(field));
     }
@@ -104,10 +104,13 @@ Accelerator::runLayer(const LayerWorkload &wl,
     const bool compute_output = opt.compute_output;
     s2ta_assert(wl.shape.valid(), "invalid shape for layer '%s'",
                 wl.name.c_str());
+    s2ta_assert(wl.batch >= 1, "layer '%s' batch %d",
+                wl.name.c_str(), wl.batch);
 
     LayerRun lr;
     lr.name = wl.name;
-    lr.dense_macs = wl.shape.denseMacs();
+    lr.batch = wl.batch;
+    lr.dense_macs = wl.shape.denseMacs() * wl.batch;
     lr.act_nnz_used = wl.act_nnz;
 
     // Per-layer variable A-DBB (and the per-layer weight bound):
@@ -135,8 +138,12 @@ Accelerator::runLayer(const LayerWorkload &wl,
     gemm_opt.shard_pool = shardPool();
 
     if (compute_output) {
-        lr.output = Int32Tensor(
-            {wl.shape.outH(), wl.shape.outW(), wl.shape.out_c}, 0);
+        std::vector<int> out_shape = {wl.shape.outH(),
+                                      wl.shape.outW(),
+                                      wl.shape.out_c};
+        if (wl.batch > 1)
+            out_shape.insert(out_shape.begin(), wl.batch);
+        lr.output = Int32Tensor(out_shape, 0);
     }
 
     // Each group lowers to an independent GEMM whose plan (encoding
@@ -163,11 +170,12 @@ Accelerator::runLayer(const LayerWorkload &wl,
             acfg.bz, compute_output,
             [&] {
                 return im2colLowerAll(wl.shape, wl.input,
-                                      wl.weights, channelAlign());
+                                      wl.weights, channelAlign(),
+                                      wl.batch);
             },
             [&](int g) {
                 return im2colLower(wl.shape, wl.input, wl.weights,
-                                   g, channelAlign());
+                                   g, channelAlign(), wl.batch);
             });
         runIndexed(groups, [&](int64_t g) {
             runs[static_cast<size_t>(g)] = model->run(
@@ -175,7 +183,8 @@ Accelerator::runLayer(const LayerWorkload &wl,
         });
     } else {
         const std::vector<GemmProblem> problems = im2colLowerAll(
-            wl.shape, wl.input, wl.weights, channelAlign());
+            wl.shape, wl.input, wl.weights, channelAlign(),
+            wl.batch);
         runIndexed(groups, [&](int64_t g) {
             runs[static_cast<size_t>(g)] =
                 model->run(problems[static_cast<size_t>(g)],
@@ -187,7 +196,7 @@ Accelerator::runLayer(const LayerWorkload &wl,
         if (compute_output) {
             scatterGemmResult(wl.shape, g,
                               runs[static_cast<size_t>(g)].output,
-                              lr.output);
+                              lr.output, wl.batch);
         }
     }
 
@@ -237,8 +246,9 @@ Accelerator::runLayer(const LayerWorkload &wl,
         const int64_t blocks = (act_elems + bz - 1) / bz;
         act_bytes = blocks * (wl.act_nnz + 1);
     }
-    const int64_t out_bytes = static_cast<int64_t>(wl.shape.outH()) *
-                              wl.shape.outW() * wl.shape.out_c;
+    const int64_t out_bytes = static_cast<int64_t>(wl.batch) *
+                              wl.shape.outH() * wl.shape.outW() *
+                              wl.shape.out_c;
 
     // Residency policy: an operand that fits its SRAM is loaded
     // once. An operand that overflows is *streamed* once when the
@@ -247,7 +257,8 @@ Accelerator::runLayer(const LayerWorkload &wl,
     // activations); only when neither fits must the cheaper one be
     // re-streamed per stripe of the other.
     const int row_tiles =
-        (wl.shape.outH() * wl.shape.outW() + acfg.tileRows() - 1) /
+        (wl.batch * wl.shape.outH() * wl.shape.outW() +
+         acfg.tileRows() - 1) /
         acfg.tileRows();
     const int col_tiles =
         (wl.shape.groupOutC() + acfg.tileCols() - 1) /

@@ -67,7 +67,15 @@ struct LayerWorkload
 {
     std::string name;
     Conv2dShape shape;
-    /** (in_h, in_w, in_c) activations. */
+    /**
+     * Samples run through the layer per request. Batch folds into
+     * the GEMM M axis (sample-major rows), so every engine stays
+     * bitwise identical across batch sizes: a batched output is
+     * exactly the concatenation of the per-sample outputs.
+     */
+    int batch = 1;
+    /** (in_h, in_w, in_c) activations at batch 1, or
+     *  (batch, in_h, in_w, in_c) when batch > 1. */
     Int8Tensor input;
     /** (kernel_h, kernel_w, groupInC, out_c) weights. */
     Int8Tensor weights;
@@ -91,7 +99,11 @@ struct LayerRun
     bool memory_bound = false;
     /** Compute-only cycles (before the DMA bound was applied). */
     int64_t compute_cycles = 0;
-    /** Functional conv output; empty unless requested. */
+    /** Samples the layer processed (the workload's batch). */
+    int batch = 1;
+    /** Functional conv output; empty unless requested. Shaped
+     *  (outH, outW, out_c), with a leading batch dimension when
+     *  the workload's batch is > 1. */
     Int32Tensor output;
 };
 

@@ -13,8 +13,11 @@
  * A plan borrows the GemmProblem it was built from; the problem must
  * outlive the plan. Plans are immutable after construction apart
  * from a small validation memo, which is atomic so one plan can be
- * shared across concurrent sweep lanes (PlanCache hands the same
- * encoding to every design point under comparison).
+ * shared across concurrent consumers: sweep lanes (PlanCache hands
+ * the same encoding to every design point under comparison) and
+ * serving streams (every request re-sending a workload simulates
+ * from the same cached encoding). Batched workloads need nothing
+ * special here — batch > 1 only grows the problem's M axis.
  */
 
 #ifndef S2TA_ARCH_GEMM_PLAN_HH
@@ -168,11 +171,13 @@ class GemmPlan
     /**
      * Verify every weight block satisfies @p spec via its cached
      * mask popcount; fatal on violation. Repeat calls with the same
-     * spec are memoized.
+     * spec are memoized; the memo is atomic and re-validation by a
+     * racing lane is idempotent, so concurrent consumers of a
+     * cached plan may all call this.
      */
     void checkWeights(const DbbSpec &spec) const;
 
-    /** Same for the activation operand. */
+    /** Same contract for the activation operand. */
     void checkActivations(const DbbSpec &spec) const;
 
     // Movable (the memo atomics need explicit transfer); plans are

@@ -1,11 +1,16 @@
 /**
  * @file
- * Cross-run plan cache for architecture sweeps.
+ * Cross-run plan cache for architecture sweeps and serving.
  *
  * The compressed DBB form of a workload is config-independent: the
  * same encoded GemmPlan serves every array geometry, SMT depth, and
  * sparsity bound under comparison, so a sweep over many design
  * points only needs to im2col-lower and encode each workload once.
+ * The same property makes the format weight-static under serving
+ * traffic: one cache shared across every stream of a
+ * serve::StreamScheduler lets repeated (model, batch) requests —
+ * and models sharing identical layers — skip lowering and encoding
+ * entirely (RunOptions::plan_cache wires it in).
  * The cache keys entries by operand *content* (a 64-bit FNV-1a
  * fingerprint of both operand byte arrays plus the GEMM dims, the
  * DBB block size, and whether the dense weight mirror was
@@ -17,12 +22,23 @@
  *
  * Entries own their GemmProblem (plans borrow the problem they were
  * built from), so cached plans stay valid after the caller's problem
- * dies. Lookups and inserts are mutex-guarded; plan construction
- * runs outside the lock, and when two threads race to build the same
- * key the first insert wins (plan contents are deterministic, so
- * either copy is correct). Eviction is strict LRU over a
- * caller-chosen entry budget and therefore deterministic for any
- * single-threaded access sequence.
+ * dies — acquire() returns shared_ptrs, so an entry evicted while a
+ * lane still simulates from it stays alive until the last user
+ * drops it.
+ *
+ * Thread-safety: lookups, inserts, stats(), and clear() are
+ * mutex-guarded; plan construction runs outside the lock, and when
+ * two threads race to build the same key the first insert wins
+ * (plan contents are deterministic, so either copy is correct).
+ * Hit/miss counters can differ across thread interleavings; the
+ * returned plans never do.
+ *
+ * Eviction: strict LRU over caller-chosen entry and resident-byte
+ * budgets (least-recently-acquired entries evicted until both caps
+ * hold), and therefore deterministic for any single-threaded access
+ * sequence; concurrent lanes may reorder recency updates, which can
+ * change *which* entry is evicted but never the results computed
+ * from whatever is resident. DAP memo entries live outside the LRU.
  */
 
 #ifndef S2TA_ARCH_PLAN_CACHE_HH

@@ -1,6 +1,10 @@
 /**
  * @file
- * Fixed-size thread pool for the parallel network runner.
+ * Fixed-size thread pool behind every parallel tier of the
+ * simulator: the layer/group fan-out of Accelerator::runNetwork,
+ * the intra-GEMM tile-stripe sharding of dbbGemm
+ * (RunOptions::shard_pool), and the request-level fan-out of
+ * serve::StreamScheduler.
  *
  * parallelFor(n, fn) runs fn(i) for i in [0, n). Indices are handed
  * out through a shared atomic counter (no work stealing, no
@@ -95,7 +99,25 @@ class ThreadPool
 
     /**
      * Run fn(i) for every i in [0, n); blocks until all complete.
-     * The caller participates; exceptions must not escape fn.
+     *
+     * Behavioral contract:
+     *  - the caller participates as a lane, so a pool with zero
+     *    helpers (or n == 1) degrades to a plain serial loop;
+     *  - thread-safe: concurrent parallelFor calls from different
+     *    threads are serialized (one job at a time, FIFO by mutex
+     *    acquisition); calls from *inside* a worker lane run
+     *    inline, so nested parallelism composes without deadlock
+     *    or oversubscription — this also holds across distinct
+     *    pool instances (the in-worker flag is per thread, not per
+     *    pool);
+     *  - scheduling is non-deterministic, results must not be:
+     *    have fn(i) write only to slot/stripe i and reduce in
+     *    index order afterwards, which makes the outcome bitwise
+     *    identical to a serial loop at every lane count;
+     *  - exceptions must not escape fn (workers have no handler).
+     *
+     * @param n  index count; n <= 0 is a no-op.
+     * @param fn callable invoked as fn(int64_t i), i in [0, n).
      */
     template <typename Fn>
     void
@@ -142,10 +164,17 @@ class ThreadPool
 
     /**
      * Run fn(begin, end) over [0, n) split into contiguous stripes
-     * of at most @p stripe indices, dispatched with parallelFor.
-     * The intra-GEMM sharding primitive: stripes own disjoint index
-     * ranges (callers write disjoint output rows), so results are
-     * bitwise identical to one fn(0, n) call at any lane count.
+     * of at most @p stripe indices, dispatched with parallelFor
+     * (same thread-safety and determinism contract). The intra-GEMM
+     * sharding primitive: stripes own disjoint index ranges
+     * (callers write disjoint output rows), so results are bitwise
+     * identical to one fn(0, n) call at any lane count. A single
+     * stripe short-circuits to one inline fn(0, n) call.
+     *
+     * @param n      total index count.
+     * @param stripe maximum indices per stripe; must be > 0.
+     * @param fn     callable invoked as fn(int64_t begin,
+     *               int64_t end) over half-open ranges.
      */
     template <typename Fn>
     void

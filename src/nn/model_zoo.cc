@@ -301,4 +301,21 @@ benchmarkModels()
     return {resNet50(), vgg16(), mobileNetV1(), alexNet()};
 }
 
+ModelSpec
+modelByName(const std::string &name)
+{
+    if (name == "lenet5")
+        return leNet5();
+    if (name == "alexnet")
+        return alexNet();
+    if (name == "vgg16")
+        return vgg16();
+    if (name == "mobilenetv1")
+        return mobileNetV1();
+    if (name == "resnet50")
+        return resNet50();
+    s2ta_fatal("unknown model '%s' (lenet5|alexnet|vgg16|"
+               "mobilenetv1|resnet50)", name.c_str());
+}
+
 } // namespace s2ta

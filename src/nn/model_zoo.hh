@@ -72,6 +72,14 @@ ModelSpec leNet5();
 /** The four full-model benchmark networks of Sec. 8.3. */
 std::vector<ModelSpec> benchmarkModels();
 
+/**
+ * Zoo model by its CLI name: lenet5, alexnet, vgg16, mobilenetv1,
+ * or resnet50. Fatal on unknown names (shared by the bench flag
+ * parser and the serving model registry, so a typo can never run
+ * the wrong model silently).
+ */
+ModelSpec modelByName(const std::string &name);
+
 } // namespace s2ta
 
 #endif // S2TA_NN_MODEL_ZOO_HH

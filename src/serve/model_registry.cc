@@ -1,0 +1,45 @@
+#include "serve/model_registry.hh"
+
+#include "arch/plan_cache.hh"
+#include "nn/model_zoo.hh"
+
+namespace s2ta {
+namespace serve {
+
+ModelRegistry::ModelRegistry(uint64_t seed_) : seed(seed_) {}
+
+const ModelWorkload &
+ModelRegistry::workload(const std::string &model, int batch)
+{
+    s2ta_assert(batch >= 1, "batch=%d", batch);
+    const auto key = std::make_pair(model, batch);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return *it->second;
+
+    if (batch > 1) {
+        // Batch variants replicate the batch-1 base, so the
+        // deployed model (weights, bounds, per-sample content) is
+        // shared across every batch size.
+        const ModelWorkload &base = workload(model, 1);
+        it = cache.emplace(key, std::make_unique<ModelWorkload>(
+                                    withBatch(base, batch)))
+                 .first;
+        return *it->second;
+    }
+
+    // The base seed depends only on (registry seed, model name):
+    // request arrival order can never change workload content.
+    const uint64_t model_seed = PlanCache::combine(
+        seed, PlanCache::hashBytes(model.data(), model.size()));
+    Rng rng(model_seed);
+    it = cache.emplace(key,
+                       std::make_unique<ModelWorkload>(
+                           buildModelWorkload(modelByName(model),
+                                              rng)))
+             .first;
+    return *it->second;
+}
+
+} // namespace serve
+} // namespace s2ta

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic registry of servable model workloads.
+ *
+ * A serving deployment holds a fixed set of deployed models; every
+ * request names one of them plus a batch size. The registry maps
+ * (zoo model name, batch) to a ready-to-run ModelWorkload:
+ *
+ *  - the batch-1 base workload of each model is generated once from
+ *    a seed derived only from (registry seed, model name), so two
+ *    registries with the same seed produce bit-identical workloads
+ *    no matter which requests arrive first;
+ *  - batch variants replicate the base inputs along a leading batch
+ *    dimension (workload/model_workloads.hh withBatch), sharing the
+ *    deployed model's weights — exactly the content-duplication a
+ *    shared PlanCache exploits across requests;
+ *  - entries are built on first use and live for the registry's
+ *    lifetime, so the ModelWorkload pointers handed to the
+ *    scheduler stay stable while requests are in flight.
+ *
+ * Not thread-safe: build the trace (and thereby the registry
+ * entries) before handing workload pointers to concurrent
+ * consumers. StreamScheduler::drain only reads the workloads.
+ */
+
+#ifndef S2TA_SERVE_MODEL_REGISTRY_HH
+#define S2TA_SERVE_MODEL_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "workload/model_workloads.hh"
+
+namespace s2ta {
+namespace serve {
+
+class ModelRegistry
+{
+  public:
+    /** @param seed base seed every workload derives from. */
+    explicit ModelRegistry(uint64_t seed = 0x5E47E);
+
+    /**
+     * Workload for (@p model, @p batch), built on first use. The
+     * model name is a zoo CLI name (lenet5|alexnet|vgg16|
+     * mobilenetv1|resnet50); fatal on unknown names or batch < 1.
+     * The returned reference is stable for the registry's lifetime.
+     */
+    const ModelWorkload &workload(const std::string &model,
+                                  int batch = 1);
+
+    /** Distinct (model, batch) entries currently resident. */
+    int entries() const { return static_cast<int>(cache.size()); }
+
+  private:
+    const uint64_t seed;
+    /** Keyed by (model name, batch); batch-1 bases included. */
+    std::map<std::pair<std::string, int>,
+             std::unique_ptr<ModelWorkload>>
+        cache;
+};
+
+} // namespace serve
+} // namespace s2ta
+
+#endif // S2TA_SERVE_MODEL_REGISTRY_HH

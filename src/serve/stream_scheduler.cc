@@ -1,0 +1,134 @@
+#include "serve/stream_scheduler.hh"
+
+#include <algorithm>
+
+#include "base/thread_pool.hh"
+
+namespace s2ta {
+namespace serve {
+
+StreamScheduler::StreamScheduler(const Accelerator &acc_,
+                                 Options opts_)
+    : acc(acc_), opts(std::move(opts_))
+{
+    s2ta_assert(opts.threads >= 0, "threads=%d", opts.threads);
+    if (opts.threads > 1)
+        own_pool = std::make_unique<ThreadPool>(opts.threads - 1);
+}
+
+StreamScheduler::~StreamScheduler() = default;
+
+ThreadPool *
+StreamScheduler::pool() const
+{
+    if (opts.threads == 1)
+        return nullptr;
+    return own_pool ? own_pool.get() : &ThreadPool::global();
+}
+
+uint64_t
+StreamScheduler::submit(int stream, const ModelWorkload &mw)
+{
+    s2ta_assert(stream >= 0, "stream=%d", stream);
+    const uint64_t id = next_id++;
+    queues[stream].push_back(Pending{id, stream, &mw});
+    return id;
+}
+
+int64_t
+StreamScheduler::pending() const
+{
+    int64_t n = 0;
+    for (const auto &[stream, q] : queues)
+        n += static_cast<int64_t>(q.size());
+    return n;
+}
+
+int64_t
+StreamScheduler::gemmCount(const ModelWorkload &mw)
+{
+    int64_t gemms = 0;
+    for (const LayerWorkload &wl : mw.layers)
+        gemms += wl.shape.groups;
+    return gemms;
+}
+
+std::vector<std::vector<Completion>>
+StreamScheduler::drain()
+{
+    // Admission: round-robin across streams in ascending stream id
+    // (std::map iteration order), one request per stream per round.
+    // This is the order a fair serving frontend would admit mixed
+    // tenants in, and it is deterministic in the submission
+    // sequence alone.
+    std::vector<Pending> admitted;
+    admitted.reserve(static_cast<size_t>(pending()));
+    for (size_t round = 0; true; ++round) {
+        bool any = false;
+        for (const auto &[stream, q] : queues) {
+            if (round < q.size()) {
+                admitted.push_back(q[round]);
+                any = true;
+            }
+        }
+        if (!any)
+            break;
+    }
+
+    // Execution: whole requests fan out across the lanes; the
+    // accelerator's internal layer/group parallelFor runs inline
+    // inside a lane (nested-parallelism rule of ThreadPool), so
+    // request-level parallelism composes with the layer fan-out.
+    // Each lane writes only its own slot; no cross-request state
+    // beyond the mutex-guarded PlanCache.
+    std::vector<NetworkRun> runs(admitted.size());
+    const auto run_one = [&](int64_t i) {
+        runs[static_cast<size_t>(i)] = acc.runNetwork(
+            admitted[static_cast<size_t>(i)].model->layers,
+            opts.run);
+    };
+    ThreadPool *tp = pool();
+    if (tp) {
+        tp->parallelFor(static_cast<int64_t>(admitted.size()),
+                        run_one);
+    } else {
+        for (size_t i = 0; i < admitted.size(); ++i)
+            run_one(static_cast<int64_t>(i));
+    }
+
+    // Reduction: walk admission order (which preserves per-stream
+    // submission order) and group completions by stream, so every
+    // stream observes its requests complete strictly in the order
+    // it issued them, independent of execution interleaving.
+    std::vector<std::vector<Completion>> by_stream(queues.size());
+    std::map<int, size_t> stream_slot;
+    for (const auto &[stream, q] : queues)
+        stream_slot.emplace(stream, stream_slot.size());
+    for (size_t i = 0; i < admitted.size(); ++i) {
+        const Pending &p = admitted[i];
+        Completion c;
+        c.id = p.id;
+        c.stream = p.stream;
+        c.model = p.model->spec.name;
+        c.batch = p.model->layers.empty()
+                      ? 1
+                      : p.model->layers.front().batch;
+        c.gemms = gemmCount(*p.model);
+        c.run = std::move(runs[i]);
+
+        totals.requests += 1;
+        totals.layers +=
+            static_cast<int64_t>(p.model->layers.size());
+        totals.gemms += c.gemms;
+        totals.dense_macs += c.run.dense_macs;
+
+        if (opts.on_complete)
+            opts.on_complete(c);
+        by_stream[stream_slot.at(p.stream)].push_back(std::move(c));
+    }
+    queues.clear();
+    return by_stream;
+}
+
+} // namespace serve
+} // namespace s2ta

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Serving-style streaming driver: many concurrent inference streams
+ * through one Accelerator instance.
+ *
+ * A stream models one client connection issuing requests in order;
+ * a request names a servable workload (any zoo model at any batch
+ * size — see serve/model_registry.hh). The scheduler pulls
+ * requests from the per-stream FIFO queues in deterministic
+ * round-robin admission order, fans them out across a thread pool
+ * (each lane simulates whole requests; the accelerator's own
+ * layer/group fan-out runs inline inside that lane), and completes
+ * each stream's requests strictly in submission order.
+ *
+ * Determinism contract: for a fixed submission sequence and fixed
+ * options, drain() produces bitwise-identical NetworkRuns at every
+ * thread count — requests are independent simulations, results are
+ * written to per-request slots, and the per-stream reduction walks
+ * admission order. Sharing a PlanCache across streams never changes
+ * results either (plans are content-fingerprinted), it only makes
+ * repeated (model, batch) workloads skip the lowering + encoding.
+ */
+
+#ifndef S2TA_SERVE_STREAM_SCHEDULER_HH
+#define S2TA_SERVE_STREAM_SCHEDULER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "arch/accelerator.hh"
+#include "workload/model_workloads.hh"
+
+namespace s2ta {
+
+class ThreadPool;
+
+namespace serve {
+
+/** One completed request, delivered in per-stream order. */
+struct Completion
+{
+    /** Scheduler-assigned id, unique per StreamScheduler. */
+    uint64_t id = 0;
+    int stream = 0;
+    /** Zoo name of the model the request ran. */
+    std::string model;
+    /** Samples the request carried. */
+    int batch = 1;
+    /** GEMM simulations the request issued (sum of layer groups). */
+    int64_t gemms = 0;
+    /** The whole-network simulation outcome. */
+    NetworkRun run;
+};
+
+/** Aggregate counters over everything a scheduler has drained. */
+struct ServeStats
+{
+    int64_t requests = 0;
+    int64_t layers = 0;
+    /** GEMM simulations issued (one per layer group per request). */
+    int64_t gemms = 0;
+    /** Dense-equivalent MACs simulated (batch included). */
+    int64_t dense_macs = 0;
+};
+
+class StreamScheduler
+{
+  public:
+    struct Options
+    {
+        /**
+         * GEMM/network-level simulation knobs shared by every
+         * request: engine, validation, compute_output, and — the
+         * serving win — one PlanCache shared across streams and
+         * models via run.plan_cache. Not owned.
+         */
+        NetworkRunOptions run;
+        /**
+         * Request-level fan-out lanes: 0 = one lane per hardware
+         * thread (the process-wide pool), 1 = serial, N > 1 = a
+         * dedicated pool of N lanes. Results are identical at any
+         * setting.
+         */
+        int threads = 0;
+        /**
+         * Invoked once per completion during drain(), in
+         * deterministic admission order (round-robin across
+         * streams, submission order within a stream). Runs on the
+         * draining thread after all simulation finished.
+         */
+        std::function<void(const Completion &)> on_complete;
+    };
+
+    /**
+     * @param acc the one accelerator instance every stream shares;
+     *        borrowed, must outlive the scheduler.
+     */
+    StreamScheduler(const Accelerator &acc, Options opts);
+    ~StreamScheduler();
+
+    StreamScheduler(const StreamScheduler &) = delete;
+    StreamScheduler &operator=(const StreamScheduler &) = delete;
+
+    /**
+     * Append a request for @p mw to @p stream's queue. The workload
+     * is borrowed and must stay alive until drain() returns.
+     * @return the scheduler-assigned request id.
+     * Not thread-safe (one driver thread submits and drains).
+     */
+    uint64_t submit(int stream, const ModelWorkload &mw);
+
+    /** Requests queued and not yet drained. */
+    int64_t pending() const;
+
+    /**
+     * Run every queued request to completion and deliver results.
+     * Admission interleaves the streams round-robin (ascending
+     * stream id, one request per stream per round); execution fans
+     * out over the configured lanes; completions are reduced back
+     * into per-stream submission order.
+     *
+     * @return completions grouped by stream (ascending stream id),
+     *         each group in submission order.
+     */
+    std::vector<std::vector<Completion>> drain();
+
+    /** Counters accumulated over every drain() so far. */
+    const ServeStats &stats() const { return totals; }
+
+    /** GEMM simulations one request for @p mw issues. */
+    static int64_t gemmCount(const ModelWorkload &mw);
+
+  private:
+    struct Pending
+    {
+        uint64_t id;
+        int stream;
+        const ModelWorkload *model;
+    };
+
+    ThreadPool *pool() const;
+
+    const Accelerator &acc;
+    Options opts;
+    /** Dedicated pool when opts.threads > 1. */
+    std::unique_ptr<ThreadPool> own_pool;
+    /** Per-stream FIFO queues, keyed by stream id. */
+    std::map<int, std::vector<Pending>> queues;
+    uint64_t next_id = 1;
+    ServeStats totals;
+};
+
+} // namespace serve
+} // namespace s2ta
+
+#endif // S2TA_SERVE_STREAM_SCHEDULER_HH

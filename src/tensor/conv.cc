@@ -13,6 +13,31 @@ alignUp(int v, int align)
     return (v + align - 1) / align * align;
 }
 
+/**
+ * Validate a (possibly batched) activation tensor against the conv
+ * geometry: (in_h, in_w, in_c) at batch 1, (batch, in_h, in_w,
+ * in_c) for batch > 1.
+ */
+void
+checkBatchedInput(const Conv2dShape &shape, const Int8Tensor &input,
+                  int batch)
+{
+    s2ta_assert(batch >= 1, "batch=%d", batch);
+    const std::vector<int> per_sample = {shape.in_h, shape.in_w,
+                                         shape.in_c};
+    const std::vector<int> batched = {batch, shape.in_h, shape.in_w,
+                                      shape.in_c};
+    if (batch == 1) {
+        s2ta_assert(input.shape() == per_sample ||
+                    input.shape() == batched,
+                    "input shape mismatch");
+    } else {
+        s2ta_assert(input.shape() == batched,
+                    "batched input shape mismatch (batch=%d)",
+                    batch);
+    }
+}
+
 } // anonymous namespace
 
 Int32Tensor
@@ -62,12 +87,14 @@ convReference(const Conv2dShape &shape, const Int8Tensor &input,
 
 GemmProblem
 im2colLower(const Conv2dShape &shape, const Int8Tensor &input,
-            const Int8Tensor &weights, int group, int channel_align)
+            const Int8Tensor &weights, int group, int channel_align,
+            int batch)
 {
     s2ta_assert(shape.valid(), "invalid conv shape");
     s2ta_assert(group >= 0 && group < shape.groups,
                 "group %d of %d", group, shape.groups);
     s2ta_assert(channel_align > 0, "channel_align=%d", channel_align);
+    checkBatchedInput(shape, input, batch);
 
     const int oh = shape.outH(), ow = shape.outW();
     const int gc = shape.groupInC();
@@ -75,26 +102,39 @@ im2colLower(const Conv2dShape &shape, const Int8Tensor &input,
     const int k = shape.kernel_h * shape.kernel_w * seg;
     const int c_base = group * gc;
     const int oc_base = group * shape.groupOutC();
+    const int64_t sample_elems = static_cast<int64_t>(shape.in_h) *
+                                 shape.in_w * shape.in_c;
 
-    GemmProblem p(oh * ow, k, shape.groupOutC());
+    GemmProblem p(batch * oh * ow, k, shape.groupOutC());
 
-    // Activation matrix: one row per output pixel.
-    for (int oy = 0; oy < oh; ++oy) {
-        for (int ox = 0; ox < ow; ++ox) {
-            const int row = oy * ow + ox;
-            for (int ky = 0; ky < shape.kernel_h; ++ky) {
-                const int iy = oy * shape.stride + ky - shape.pad;
-                for (int kx = 0; kx < shape.kernel_w; ++kx) {
-                    const int ix = ox * shape.stride + kx - shape.pad;
-                    const int kbase =
-                        (ky * shape.kernel_w + kx) * seg;
-                    if (iy < 0 || iy >= shape.in_h || ix < 0 ||
-                        ix >= shape.in_w) {
-                        continue; // zero padding already in place
-                    }
-                    for (int c = 0; c < gc; ++c) {
-                        p.actAt(row, kbase + c) =
-                            input(iy, ix, c_base + c);
+    // Activation matrix: one row per output pixel, samples stacked
+    // back to back along M.
+    for (int s = 0; s < batch; ++s) {
+        const int8_t *in =
+            input.data() + static_cast<size_t>(s) * sample_elems;
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                const int row = (s * oh + oy) * ow + ox;
+                for (int ky = 0; ky < shape.kernel_h; ++ky) {
+                    const int iy =
+                        oy * shape.stride + ky - shape.pad;
+                    for (int kx = 0; kx < shape.kernel_w; ++kx) {
+                        const int ix =
+                            ox * shape.stride + kx - shape.pad;
+                        const int kbase =
+                            (ky * shape.kernel_w + kx) * seg;
+                        if (iy < 0 || iy >= shape.in_h || ix < 0 ||
+                            ix >= shape.in_w) {
+                            continue; // zero padding in place
+                        }
+                        const int8_t *src =
+                            in + (static_cast<size_t>(iy) *
+                                      shape.in_w +
+                                  ix) *
+                                     shape.in_c +
+                            c_base;
+                        for (int c = 0; c < gc; ++c)
+                            p.actAt(row, kbase + c) = src[c];
                     }
                 }
             }
@@ -118,10 +158,12 @@ im2colLower(const Conv2dShape &shape, const Int8Tensor &input,
 
 std::vector<GemmProblem>
 im2colLowerAll(const Conv2dShape &shape, const Int8Tensor &input,
-               const Int8Tensor &weights, int channel_align)
+               const Int8Tensor &weights, int channel_align,
+               int batch)
 {
     s2ta_assert(shape.valid(), "invalid conv shape");
     s2ta_assert(channel_align > 0, "channel_align=%d", channel_align);
+    checkBatchedInput(shape, input, batch);
 
     const int oh = shape.outH(), ow = shape.outW();
     const int gc = shape.groupInC();
@@ -129,37 +171,51 @@ im2colLowerAll(const Conv2dShape &shape, const Int8Tensor &input,
     const int seg = alignUp(gc, channel_align);
     const int k = shape.kernel_h * shape.kernel_w * seg;
     const int groups = shape.groups;
+    const int64_t sample_elems = static_cast<int64_t>(shape.in_h) *
+                                 shape.in_w * shape.in_c;
 
     std::vector<GemmProblem> out;
     out.reserve(static_cast<size_t>(groups));
     for (int g = 0; g < groups; ++g)
-        out.emplace_back(oh * ow, k, gn);
+        out.emplace_back(batch * oh * ow, k, gn);
 
     // Activation matrices: the tap-bounds arithmetic runs once per
-    // (pixel, tap) for all groups, and each input channel row
-    // (contiguous in NHWC) is scattered to the group matrices with
-    // one contiguous copy per group.
-    for (int oy = 0; oy < oh; ++oy) {
-        for (int ox = 0; ox < ow; ++ox) {
-            const int row = oy * ow + ox;
-            for (int ky = 0; ky < shape.kernel_h; ++ky) {
-                const int iy = oy * shape.stride + ky - shape.pad;
-                if (iy < 0 || iy >= shape.in_h)
-                    continue; // zero padding already in place
-                for (int kx = 0; kx < shape.kernel_w; ++kx) {
-                    const int ix = ox * shape.stride + kx - shape.pad;
-                    if (ix < 0 || ix >= shape.in_w)
-                        continue;
-                    const int kbase =
-                        (ky * shape.kernel_w + kx) * seg;
-                    const int8_t *src = &input(iy, ix, 0);
-                    for (int g = 0; g < groups; ++g) {
-                        std::memcpy(
-                            &out[static_cast<size_t>(g)]
-                                 .a[static_cast<size_t>(row) * k +
-                                    kbase],
-                            src + static_cast<size_t>(g) * gc,
-                            static_cast<size_t>(gc));
+    // (sample, pixel, tap) for all groups, and each input channel
+    // row (contiguous in NHWC) is scattered to the group matrices
+    // with one contiguous copy per group. Samples stack back to
+    // back along M.
+    for (int s = 0; s < batch; ++s) {
+        const int8_t *in =
+            input.data() + static_cast<size_t>(s) * sample_elems;
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                const int row = (s * oh + oy) * ow + ox;
+                for (int ky = 0; ky < shape.kernel_h; ++ky) {
+                    const int iy =
+                        oy * shape.stride + ky - shape.pad;
+                    if (iy < 0 || iy >= shape.in_h)
+                        continue; // zero padding already in place
+                    for (int kx = 0; kx < shape.kernel_w; ++kx) {
+                        const int ix =
+                            ox * shape.stride + kx - shape.pad;
+                        if (ix < 0 || ix >= shape.in_w)
+                            continue;
+                        const int kbase =
+                            (ky * shape.kernel_w + kx) * seg;
+                        const int8_t *src =
+                            in + (static_cast<size_t>(iy) *
+                                      shape.in_w +
+                                  ix) *
+                                     shape.in_c;
+                        for (int g = 0; g < groups; ++g) {
+                            std::memcpy(
+                                &out[static_cast<size_t>(g)]
+                                     .a[static_cast<size_t>(row) *
+                                            k +
+                                        kbase],
+                                src + static_cast<size_t>(g) * gc,
+                                static_cast<size_t>(gc));
+                        }
                     }
                 }
             }
@@ -190,24 +246,40 @@ im2colLowerAll(const Conv2dShape &shape, const Int8Tensor &input,
 void
 scatterGemmResult(const Conv2dShape &shape, int group,
                   const std::vector<int32_t> &gemm_out,
-                  Int32Tensor &output)
+                  Int32Tensor &output, int batch)
 {
     const int oh = shape.outH(), ow = shape.outW();
     const int gn = shape.groupOutC();
     const int oc_base = group * gn;
-    s2ta_assert(gemm_out.size() ==
-                static_cast<size_t>(oh) * ow * gn,
+    s2ta_assert(batch >= 1, "batch=%d", batch);
+    s2ta_assert(gemm_out.size() == static_cast<size_t>(batch) * oh *
+                                       ow * gn,
                 "gemm result size mismatch");
-    s2ta_assert(output.shape() ==
-                std::vector<int>({oh, ow, shape.out_c}),
+    const std::vector<int> per_sample = {oh, ow, shape.out_c};
+    const std::vector<int> batched = {batch, oh, ow, shape.out_c};
+    s2ta_assert(batch == 1 ? (output.shape() == per_sample ||
+                              output.shape() == batched)
+                           : output.shape() == batched,
                 "output shape mismatch");
 
-    for (int oy = 0; oy < oh; ++oy)
-        for (int ox = 0; ox < ow; ++ox)
-            for (int j = 0; j < gn; ++j)
-                output(oy, ox, oc_base + j) =
-                    gemm_out[(static_cast<size_t>(oy) * ow + ox) * gn
-                             + j];
+    const int64_t out_stride = static_cast<int64_t>(oh) * ow *
+                               shape.out_c;
+    for (int s = 0; s < batch; ++s) {
+        int32_t *dst =
+            output.data() + static_cast<size_t>(s) * out_stride;
+        for (int oy = 0; oy < oh; ++oy)
+            for (int ox = 0; ox < ow; ++ox)
+                for (int j = 0; j < gn; ++j)
+                    dst[(static_cast<size_t>(oy) * ow + ox) *
+                            shape.out_c +
+                        oc_base + j] =
+                        gemm_out[(((static_cast<size_t>(s) * oh +
+                                    oy) *
+                                       ow +
+                                   ox)) *
+                                     gn +
+                                 j];
+    }
 }
 
 } // namespace s2ta

@@ -5,10 +5,19 @@
  * accelerator models.
  *
  * Layout conventions:
- *  - activations: NHWC with batch fixed at 1, i.e. (H, W, C);
+ *  - activations: NHWC, i.e. (H, W, C) at batch 1 or (N, H, W, C)
+ *    for batch > 1;
  *  - weights: (KH, KW, C/groups, OC).
  * The channel dimension is innermost so that 1x1xBZ DBB blocks
  * (paper Fig. 5) are contiguous.
+ *
+ * Batch handling: a batch of N samples folds into the GEMM M axis.
+ * The lowered activation matrix stacks each sample's im2col rows
+ * back to back (sample-major: rows [s*outH*outW, (s+1)*outH*outW)
+ * belong to sample s), and the weight matrix is untouched. GEMM
+ * output rows are computed independently of each other, so a
+ * batched run is bitwise identical to the concatenation of the
+ * per-sample runs on every engine.
  */
 
 #ifndef S2TA_TENSOR_CONV_HH
@@ -21,7 +30,8 @@
 
 namespace s2ta {
 
-/** Geometry of a 2-D convolution (batch 1). */
+/** Geometry of a 2-D convolution (per sample; batch is a property
+ *  of the workload, not the shape). */
 struct Conv2dShape
 {
     int in_c = 0;
@@ -92,18 +102,22 @@ Int32Tensor convReference(const Conv2dShape &shape,
  * positions. Out-of-image taps contribute zeros (zero padding).
  *
  * @param shape convolution geometry.
- * @param input (in_h, in_w, in_c) INT8 activations.
+ * @param input (in_h, in_w, in_c) INT8 activations, or
+ *        (batch, in_h, in_w, in_c) when @p batch > 1.
  * @param weights (kernel_h, kernel_w, groupInC, out_c) INT8 weights.
  * @param group group index in [0, groups).
  * @param channel_align pad each channel segment to this multiple.
- * @return GEMM with m = outH*outW, n = groupOutC,
+ * @param batch samples stacked along the GEMM M axis
+ *        (sample-major rows).
+ * @return GEMM with m = batch*outH*outW, n = groupOutC,
  *         k = kernel_h*kernel_w*align(groupInC).
  */
 GemmProblem im2colLower(const Conv2dShape &shape,
                         const Int8Tensor &input,
                         const Int8Tensor &weights,
                         int group = 0,
-                        int channel_align = 8);
+                        int channel_align = 8,
+                        int batch = 1);
 
 /**
  * Batched im2col: lower every group of a convolution in one pass.
@@ -119,19 +133,23 @@ GemmProblem im2colLower(const Conv2dShape &shape,
 std::vector<GemmProblem> im2colLowerAll(const Conv2dShape &shape,
                                         const Int8Tensor &input,
                                         const Int8Tensor &weights,
-                                        int channel_align = 8);
+                                        int channel_align = 8,
+                                        int batch = 1);
 
 /**
  * Scatter a GEMM result for one group back into the output tensor.
  *
  * @param shape convolution geometry.
  * @param group group index the GEMM result belongs to.
- * @param gemm_out row-major (outH*outW) x groupOutC INT32 values.
- * @param output (outH, outW, out_c) tensor updated in place.
+ * @param gemm_out row-major (batch*outH*outW) x groupOutC INT32
+ *        values (sample-major rows).
+ * @param output (outH, outW, out_c) tensor updated in place, or
+ *        (batch, outH, outW, out_c) when @p batch > 1.
+ * @param batch samples carried by @p gemm_out.
  */
 void scatterGemmResult(const Conv2dShape &shape, int group,
                        const std::vector<int32_t> &gemm_out,
-                       Int32Tensor &output);
+                       Int32Tensor &output, int batch = 1);
 
 } // namespace s2ta
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "workload/sparse_gen.hh"
 
@@ -193,6 +194,44 @@ buildModelWorkload(const ModelSpec &spec,
                         for (int oc = 0; oc < ml.shape.out_c; ++oc)
                             wl.weights(ky, kx, c, oc) =
                                 tmp(ky, kx, oc, c);
+        }
+        mw.layers.push_back(std::move(wl));
+    }
+    return mw;
+}
+
+ModelWorkload
+withBatch(const ModelWorkload &base, int batch)
+{
+    s2ta_assert(batch >= 1, "batch=%d", batch);
+    if (batch == 1)
+        return base;
+
+    ModelWorkload mw;
+    mw.spec = base.spec;
+    mw.profile = base.profile;
+    mw.layers.reserve(base.layers.size());
+    for (const LayerWorkload &bl : base.layers) {
+        s2ta_assert(bl.batch == 1,
+                    "layer '%s' is already batched (%d)",
+                    bl.name.c_str(), bl.batch);
+        LayerWorkload wl;
+        wl.name = bl.name;
+        wl.shape = bl.shape;
+        wl.batch = batch;
+        wl.act_nnz = bl.act_nnz;
+        wl.wgt_nnz = bl.wgt_nnz;
+        wl.weights = bl.weights;
+
+        std::vector<int> in_shape = bl.input.shape();
+        in_shape.insert(in_shape.begin(), batch);
+        wl.input = Int8Tensor(in_shape);
+        const size_t sample_bytes =
+            static_cast<size_t>(bl.input.size());
+        for (int s = 0; s < batch; ++s) {
+            std::memcpy(wl.input.data() +
+                            static_cast<size_t>(s) * sample_bytes,
+                        bl.input.data(), sample_bytes);
         }
         mw.layers.push_back(std::move(wl));
     }

@@ -61,6 +61,17 @@ ModelWorkload buildModelWorkload(const ModelSpec &spec,
                                  std::vector<LayerSparsity> profile,
                                  Rng &rng);
 
+/**
+ * Batched variant of an existing workload: every layer keeps its
+ * weights and declared sparsity bounds (the deployed model is
+ * unchanged) and its input is replicated @p batch times along a
+ * leading batch dimension — the serving scenario of one request
+ * carrying @p batch samples. Replication preserves the per-sample
+ * DBB structure, so the batched workload satisfies exactly the
+ * bounds the base one does. @p batch == 1 returns a plain copy.
+ */
+ModelWorkload withBatch(const ModelWorkload &base, int batch);
+
 } // namespace s2ta
 
 #endif // S2TA_WORKLOAD_MODEL_WORKLOADS_HH

@@ -1,0 +1,79 @@
+/** @file Registry contract: workload content is a pure function of
+ *  (seed, model name, batch) — request arrival order can never
+ *  change it — references are stable, and batch variants share the
+ *  deployed model's weights. */
+
+#include <gtest/gtest.h>
+
+#include "serve/model_registry.hh"
+
+namespace s2ta {
+namespace serve {
+namespace {
+
+bool
+sameWorkload(const ModelWorkload &a, const ModelWorkload &b)
+{
+    if (a.layers.size() != b.layers.size())
+        return false;
+    for (size_t i = 0; i < a.layers.size(); ++i) {
+        const LayerWorkload &x = a.layers[i];
+        const LayerWorkload &y = b.layers[i];
+        if (x.batch != y.batch || !(x.input == y.input) ||
+            !(x.weights == y.weights))
+            return false;
+    }
+    return true;
+}
+
+TEST(ModelRegistry, StableReferencesAndMemoization)
+{
+    ModelRegistry reg;
+    const ModelWorkload &a = reg.workload("lenet5");
+    const ModelWorkload &b = reg.workload("lenet5");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.entries(), 1);
+    const ModelWorkload &c = reg.workload("lenet5", 2);
+    EXPECT_NE(&a, &c);
+    EXPECT_EQ(reg.entries(), 2);
+}
+
+TEST(ModelRegistry, ContentIndependentOfArrivalOrder)
+{
+    // Same seed, opposite request orders: bit-identical workloads.
+    ModelRegistry fwd;
+    ModelRegistry rev;
+    const ModelWorkload &f1 = fwd.workload("lenet5", 1);
+    const ModelWorkload &f2 = fwd.workload("lenet5", 2);
+    const ModelWorkload &r2 = rev.workload("lenet5", 2);
+    const ModelWorkload &r1 = rev.workload("lenet5", 1);
+    EXPECT_TRUE(sameWorkload(f1, r1));
+    EXPECT_TRUE(sameWorkload(f2, r2));
+}
+
+TEST(ModelRegistry, SeedsChangeContent)
+{
+    ModelRegistry a(1);
+    ModelRegistry b(2);
+    EXPECT_FALSE(sameWorkload(a.workload("lenet5"),
+                              b.workload("lenet5")));
+}
+
+TEST(ModelRegistry, BatchVariantsShareTheDeployedModel)
+{
+    ModelRegistry reg;
+    const ModelWorkload &base = reg.workload("lenet5", 1);
+    const ModelWorkload &b4 = reg.workload("lenet5", 4);
+    ASSERT_EQ(b4.layers.size(), base.layers.size());
+    for (size_t i = 0; i < b4.layers.size(); ++i) {
+        EXPECT_EQ(b4.layers[i].batch, 4);
+        EXPECT_TRUE(b4.layers[i].weights ==
+                    base.layers[i].weights);
+        EXPECT_EQ(b4.layers[i].input.size(),
+                  4 * base.layers[i].input.size());
+    }
+}
+
+} // anonymous namespace
+} // namespace serve
+} // namespace s2ta

@@ -1,0 +1,189 @@
+/** @file Scheduler contract: per-stream completions arrive strictly
+ *  in submission order, results are bitwise identical at every lane
+ *  count and with the cross-stream PlanCache on or off, the
+ *  on_complete callback fires in deterministic admission order, and
+ *  cache sharing across streams actually hits. */
+
+#include <gtest/gtest.h>
+
+#include "arch/plan_cache.hh"
+#include "serve/model_registry.hh"
+#include "serve/stream_scheduler.hh"
+
+namespace s2ta {
+namespace serve {
+namespace {
+
+/** Events-only runs, generator structure trusted (test speed). */
+NetworkRunOptions
+serveRunOptions()
+{
+    NetworkRunOptions opt;
+    opt.validate_operands = false;
+    return opt;
+}
+
+bool
+sameRun(const NetworkRun &a, const NetworkRun &b)
+{
+    if (!(a.total == b.total) || a.dense_macs != b.dense_macs ||
+        a.layers.size() != b.layers.size())
+        return false;
+    for (size_t i = 0; i < a.layers.size(); ++i) {
+        if (!(a.layers[i].events == b.layers[i].events) ||
+            !(a.layers[i].output == b.layers[i].output))
+            return false;
+    }
+    return true;
+}
+
+class StreamSchedulerTest : public ::testing::Test
+{
+  protected:
+    StreamSchedulerTest()
+    {
+        AcceleratorConfig cfg;
+        cfg.array = ArrayConfig::s2taAw(4);
+        cfg.sim_threads = 1;
+        acc = std::make_unique<Accelerator>(cfg);
+    }
+
+    ModelRegistry registry;
+    std::unique_ptr<Accelerator> acc;
+};
+
+TEST_F(StreamSchedulerTest, PerStreamCompletionIsInSubmissionOrder)
+{
+    const ModelWorkload &small = registry.workload("lenet5", 1);
+    const ModelWorkload &big = registry.workload("lenet5", 2);
+
+    StreamScheduler::Options opts;
+    opts.run = serveRunOptions();
+    opts.threads = 0; // hardware-sized fan-out
+    StreamScheduler sched(*acc, opts);
+
+    // Interleave submissions across two streams; stream 7 gets a
+    // slow (batched) request first so an out-of-order scheduler
+    // would complete its second request earlier.
+    const uint64_t a0 = sched.submit(7, big);
+    const uint64_t b0 = sched.submit(2, small);
+    const uint64_t a1 = sched.submit(7, small);
+    const uint64_t b1 = sched.submit(2, big);
+    EXPECT_EQ(sched.pending(), 4);
+
+    const auto by_stream = sched.drain();
+    EXPECT_EQ(sched.pending(), 0);
+    ASSERT_EQ(by_stream.size(), 2u);
+    // Groups come back in ascending stream id: stream 2 first.
+    ASSERT_EQ(by_stream[0].size(), 2u);
+    ASSERT_EQ(by_stream[1].size(), 2u);
+    EXPECT_EQ(by_stream[0][0].id, b0);
+    EXPECT_EQ(by_stream[0][1].id, b1);
+    EXPECT_EQ(by_stream[1][0].id, a0);
+    EXPECT_EQ(by_stream[1][1].id, a1);
+    EXPECT_EQ(by_stream[1][0].batch, 2);
+    EXPECT_EQ(by_stream[1][1].batch, 1);
+    EXPECT_EQ(by_stream[0][0].model, "LeNet-5");
+}
+
+TEST_F(StreamSchedulerTest, ResultsIdenticalAtEveryLaneCount)
+{
+    const ModelWorkload &w1 = registry.workload("lenet5", 1);
+    const ModelWorkload &w2 = registry.workload("lenet5", 3);
+
+    const auto run_with = [&](int threads) {
+        StreamScheduler::Options opts;
+        opts.run = serveRunOptions();
+        opts.run.compute_output = true; // strongest check
+        opts.threads = threads;
+        StreamScheduler sched(*acc, opts);
+        for (int r = 0; r < 3; ++r) {
+            sched.submit(0, w1);
+            sched.submit(1, w2);
+        }
+        return sched.drain();
+    };
+
+    const auto serial = run_with(1);
+    for (int threads : {0, 2, 4}) {
+        const auto parallel = run_with(threads);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (size_t s = 0; s < serial.size(); ++s) {
+            ASSERT_EQ(parallel[s].size(), serial[s].size());
+            for (size_t i = 0; i < serial[s].size(); ++i) {
+                EXPECT_TRUE(sameRun(parallel[s][i].run,
+                                    serial[s][i].run))
+                    << "threads " << threads << " stream " << s
+                    << " request " << i;
+            }
+        }
+    }
+}
+
+TEST_F(StreamSchedulerTest, SharedPlanCacheHitsAcrossStreams)
+{
+    const ModelWorkload &mw = registry.workload("lenet5", 2);
+
+    PlanCache cache;
+    StreamScheduler::Options cached;
+    cached.run = serveRunOptions();
+    cached.run.plan_cache = &cache;
+    cached.threads = 1;
+    StreamScheduler sched(*acc, cached);
+    // Four streams all serving the same model: every stream after
+    // the first re-hits the encodings the first one built.
+    for (int stream = 0; stream < 4; ++stream)
+        sched.submit(stream, mw);
+    const auto cached_runs = sched.drain();
+    EXPECT_GT(cache.stats().hits, 0);
+
+    // And the shared cache is invisible in the results.
+    StreamScheduler::Options plain;
+    plain.run = serveRunOptions();
+    plain.threads = 1;
+    StreamScheduler ref(*acc, plain);
+    ref.submit(0, mw);
+    const auto ref_runs = ref.drain();
+    for (const auto &stream : cached_runs) {
+        for (const auto &c : stream)
+            EXPECT_TRUE(sameRun(c.run, ref_runs[0][0].run));
+    }
+}
+
+TEST_F(StreamSchedulerTest, CallbackFiresInAdmissionOrderAndStats)
+{
+    const ModelWorkload &mw = registry.workload("lenet5", 1);
+    const int64_t gemms = StreamScheduler::gemmCount(mw);
+    // LeNet-5 is ungrouped: one GEMM per layer.
+    EXPECT_EQ(gemms, static_cast<int64_t>(mw.layers.size()));
+
+    std::vector<uint64_t> completed;
+    StreamScheduler::Options opts;
+    opts.run = serveRunOptions();
+    opts.threads = 0;
+    opts.on_complete = [&](const Completion &c) {
+        completed.push_back(c.id);
+    };
+    StreamScheduler sched(*acc, opts);
+    const uint64_t s0r0 = sched.submit(0, mw);
+    const uint64_t s0r1 = sched.submit(0, mw);
+    const uint64_t s1r0 = sched.submit(1, mw);
+    sched.drain();
+
+    // Round-robin admission: stream 0, stream 1, stream 0.
+    ASSERT_EQ(completed.size(), 3u);
+    EXPECT_EQ(completed[0], s0r0);
+    EXPECT_EQ(completed[1], s1r0);
+    EXPECT_EQ(completed[2], s0r1);
+
+    const ServeStats &st = sched.stats();
+    EXPECT_EQ(st.requests, 3);
+    EXPECT_EQ(st.gemms, 3 * gemms);
+    EXPECT_EQ(st.layers,
+              3 * static_cast<int64_t>(mw.layers.size()));
+    EXPECT_GT(st.dense_macs, 0);
+}
+
+} // anonymous namespace
+} // namespace serve
+} // namespace s2ta

@@ -107,6 +107,54 @@ INSTANTIATE_TEST_SUITE_P(
         // stride 2 with pad
         ConvCase{12, 10, 6, 3, 2, 1, 1, 8}));
 
+TEST(Im2col, BatchedLoweringMatchesDirectPerSample)
+{
+    // A batched lowering against convReference on each sample:
+    // batch folds into the GEMM M axis and the batched scatter must
+    // land sample s in output slab s.
+    const Conv2dShape shape{8, 7, 7, 12, 3, 3, 1, 1, 2};
+    const int batch = 3;
+    Rng rng(0xB47);
+    Int8Tensor input({batch, shape.in_h, shape.in_w, shape.in_c});
+    Int8Tensor weights({shape.kernel_h, shape.kernel_w,
+                        shape.groupInC(), shape.out_c});
+    randomFill(input, rng);
+    randomFill(weights, rng);
+
+    Int32Tensor out(
+        {batch, shape.outH(), shape.outW(), shape.out_c}, 0);
+    const auto problems =
+        im2colLowerAll(shape, input, weights, 8, batch);
+    for (int g = 0; g < shape.groups; ++g) {
+        // The single-group lowering must agree with the batched
+        // all-groups pass.
+        const GemmProblem single =
+            im2colLower(shape, input, weights, g, 8, batch);
+        EXPECT_EQ(single.a, problems[static_cast<size_t>(g)].a);
+        EXPECT_EQ(single.w, problems[static_cast<size_t>(g)].w);
+        scatterGemmResult(
+            shape, g,
+            gemmReference(problems[static_cast<size_t>(g)]), out,
+            batch);
+    }
+
+    const int64_t in_stride = static_cast<int64_t>(shape.in_h) *
+                              shape.in_w * shape.in_c;
+    const int64_t out_stride = static_cast<int64_t>(shape.outH()) *
+                               shape.outW() * shape.out_c;
+    for (int s = 0; s < batch; ++s) {
+        Int8Tensor one({shape.in_h, shape.in_w, shape.in_c});
+        for (int64_t i = 0; i < in_stride; ++i)
+            one.flat(i) = input.flat(s * in_stride + i);
+        const Int32Tensor ref =
+            convReference(shape, one, weights);
+        for (int64_t i = 0; i < out_stride; ++i) {
+            ASSERT_EQ(out.flat(s * out_stride + i), ref.flat(i))
+                << "sample " << s << " element " << i;
+        }
+    }
+}
+
 TEST(Im2col, PadsChannelSegmentsToAlignment)
 {
     Conv2dShape shape{3, 4, 4, 2, 3, 3, 1, 1, 1};

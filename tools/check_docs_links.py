@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Verify internal documentation links.
+
+Scans README.md and docs/*.md for inline markdown links and checks
+that every relative target resolves to a file in the repo and that
+every #anchor (in-page or cross-page) matches a heading in the
+target file, using GitHub's heading-slug rules. External links
+(http/https/mailto) are ignored. Exits non-zero listing every
+broken link, so CI fails when a doc rots.
+
+Usage: python3 tools/check_docs_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def heading_slugs(path):
+    """GitHub-style slugs of every heading in a markdown file."""
+    slugs = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            text = m.group(1).strip()
+            # Drop markdown formatting and inline code, then apply
+            # the github slug rules: lowercase, strip punctuation,
+            # spaces and hyphens become hyphens.
+            text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+            text = text.replace("`", "")
+            slug = "".join(
+                c for c in text.lower() if c.isalnum() or c in " -_"
+            )
+            slugs.add(slug.replace(" ", "-"))
+    return slugs
+
+
+def doc_files(root):
+    files = []
+    readme = os.path.join(root, "README.md")
+    if os.path.isfile(readme):
+        files.append(readme)
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return files
+
+
+def check(root):
+    errors = []
+    slug_cache = {}
+
+    def slugs_of(path):
+        if path not in slug_cache:
+            slug_cache[path] = heading_slugs(path)
+        return slug_cache[path]
+
+    for src in doc_files(root):
+        in_fence = False
+        with open(src, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if CODE_FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                for target in LINK_RE.findall(line):
+                    if target.startswith(
+                        ("http://", "https://", "mailto:")
+                    ):
+                        continue
+                    where = "%s:%d" % (
+                        os.path.relpath(src, root),
+                        lineno,
+                    )
+                    path_part, _, anchor = target.partition("#")
+                    if path_part:
+                        dest = os.path.normpath(
+                            os.path.join(
+                                os.path.dirname(src), path_part
+                            )
+                        )
+                        if not os.path.exists(dest):
+                            errors.append(
+                                "%s: broken link '%s' (no such "
+                                "file)" % (where, target)
+                            )
+                            continue
+                    else:
+                        dest = src
+                    if anchor:
+                        if not dest.endswith(".md"):
+                            errors.append(
+                                "%s: anchor on non-markdown "
+                                "target '%s'" % (where, target)
+                            )
+                        elif anchor not in slugs_of(dest):
+                            errors.append(
+                                "%s: broken anchor '%s' (no such "
+                                "heading in %s)"
+                                % (
+                                    where,
+                                    target,
+                                    os.path.relpath(dest, root),
+                                )
+                            )
+    return errors
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    files = doc_files(root)
+    if not files:
+        print("no documentation files found under", root)
+        return 1
+    errors = check(root)
+    for e in errors:
+        print("ERROR:", e)
+    print(
+        "%d file(s) checked, %d broken link(s)"
+        % (len(files), len(errors))
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
