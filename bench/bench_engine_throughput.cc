@@ -120,8 +120,12 @@ main(int argc, char **argv)
 
     // The sweep operating point: same engine with a warm PlanCache,
     // i.e. the marginal cost of one more design point after the
-    // workload has been encoded once.
-    PlanCache cache;
+    // workload has been encoded once. --cache-mb bounds it
+    // (unbounded by default: one model's encodings fit comfortably).
+    PlanCache cache(0, args.cache_mb > 0
+                           ? static_cast<int64_t>(args.cache_mb)
+                                 << 20
+                           : 0);
     NetworkRunOptions cached_opt = fast_opt;
     cached_opt.plan_cache = &cache;
 

@@ -250,15 +250,17 @@ inline SweepContext::SweepContext() : SweepContext(Options{}) {}
 
 /**
  * The full shared flag set, for error messages: every rejection
- * names the offending flag *and* this list, so a user never has to
- * read the source to learn what a binary accepts.
+ * names the offending flag *and* this list — with the accepted
+ * value set spelled out for every enum-valued flag — so a user
+ * never has to read the source to learn what a binary accepts.
  */
 inline const char *
 benchFlagList()
 {
     return "--engine scalar|fast, --threads N, --json PATH, "
-           "--no-plan-cache, --smoke, --model NAME, --arch NAME, "
-           "--reps N";
+           "--no-plan-cache, --smoke, "
+           "--model lenet5|alexnet|vgg16|mobilenetv1|resnet50, "
+           "--arch s2ta-w|s2ta-aw, --reps N, --cache-mb N";
 }
 
 /** Options common to every bench binary. */
@@ -275,6 +277,10 @@ struct BenchArgs
     std::string arch;
     /** Timing repetitions (best-of). */
     int reps = 1;
+    /** Plan-cache resident-byte budget in MB (0 = the bench's
+     *  default budget). Serving benches bound their shared cache
+     *  with it; sweep benches feed it into ctx.cache_bytes. */
+    int cache_mb = 0;
     // Whether the knob was given explicitly: benches whose
     // experiment pins a knob (e.g. the engine-comparison bench
     // runs both engines by definition) must reject an explicit
@@ -282,6 +288,8 @@ struct BenchArgs
     bool engine_given = false;
     bool threads_given = false;
     bool plan_cache_given = false;
+    bool reps_given = false;
+    bool cache_mb_given = false;
 
     /**
      * Fatal unless flag @p name was left at its default. The error
@@ -303,10 +311,10 @@ struct BenchArgs
 };
 
 /**
- * Parse the shared flags: --engine scalar|fast, --threads N,
- * --json PATH, --no-plan-cache, --smoke, --model NAME, --arch NAME,
- * --reps N. Fatal on anything unrecognized, so a typo cannot
- * silently run the wrong experiment.
+ * Parse the shared flags (see benchFlagList for the set and the
+ * accepted values). Fatal on anything unrecognized — flag or enum
+ * value, each error naming the accepted value set — so a typo
+ * cannot silently run the wrong experiment.
  */
 inline BenchArgs
 parseBenchArgs(int argc, char **argv)
@@ -342,13 +350,27 @@ parseBenchArgs(int argc, char **argv)
         } else if (arg == "--smoke") {
             a.smoke = true;
         } else if (arg == "--model") {
+            // Accepted names are validated (with the value set in
+            // the error) by modelByName when the bench resolves it.
             a.model = value();
         } else if (arg == "--arch") {
             a.arch = value();
+            if (a.arch != "s2ta-w" && a.arch != "s2ta-aw") {
+                s2ta_fatal("unknown arch '%s' (accepted values: "
+                           "s2ta-w|s2ta-aw)", a.arch.c_str());
+            }
         } else if (arg == "--reps") {
             a.reps = std::atoi(value().c_str());
             if (a.reps < 1)
                 s2ta_fatal("--reps must be >= 1");
+            a.reps_given = true;
+        } else if (arg == "--cache-mb") {
+            a.cache_mb = std::atoi(value().c_str());
+            if (a.cache_mb < 1)
+                s2ta_fatal("--cache-mb must be >= 1");
+            a.ctx.cache_bytes =
+                static_cast<int64_t>(a.cache_mb) << 20;
+            a.cache_mb_given = true;
         } else {
             s2ta_fatal("unknown argument '%s' (accepted flags: %s)",
                        arg.c_str(), benchFlagList());

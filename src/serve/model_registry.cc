@@ -6,7 +6,18 @@
 namespace s2ta {
 namespace serve {
 
-ModelRegistry::ModelRegistry(uint64_t seed_) : seed(seed_) {}
+ModelRegistry::ModelRegistry(uint64_t seed_, BatchMode mode_)
+    : seed(seed_), mode(mode_)
+{}
+
+uint64_t
+ModelRegistry::modelSeed(const std::string &model) const
+{
+    // Depends only on (registry seed, model name): request arrival
+    // order can never change workload content.
+    return PlanCache::combine(
+        seed, PlanCache::hashBytes(model.data(), model.size()));
+}
 
 const ModelWorkload &
 ModelRegistry::workload(const std::string &model, int batch)
@@ -18,21 +29,26 @@ ModelRegistry::workload(const std::string &model, int batch)
         return *it->second;
 
     if (batch > 1) {
-        // Batch variants replicate the batch-1 base, so the
-        // deployed model (weights, bounds, per-sample content) is
-        // shared across every batch size.
+        // Batch variants extend the batch-1 base, so the deployed
+        // model (weights, bounds, profile) is shared across every
+        // batch size. Distinct mode derives sample s from a seed
+        // domain-separated from the base workload's generator
+        // stream (the base seed already drew the weights).
         const ModelWorkload &base = workload(model, 1);
+        ModelWorkload batched =
+            mode == BatchMode::Replicate
+                ? withBatch(base, batch)
+                : withDistinctBatch(
+                      base, batch,
+                      PlanCache::combine(modelSeed(model),
+                                         0x5A3B7Eull));
         it = cache.emplace(key, std::make_unique<ModelWorkload>(
-                                    withBatch(base, batch)))
+                                    std::move(batched)))
                  .first;
         return *it->second;
     }
 
-    // The base seed depends only on (registry seed, model name):
-    // request arrival order can never change workload content.
-    const uint64_t model_seed = PlanCache::combine(
-        seed, PlanCache::hashBytes(model.data(), model.size()));
-    Rng rng(model_seed);
+    Rng rng(modelSeed(model));
     it = cache.emplace(key,
                        std::make_unique<ModelWorkload>(
                            buildModelWorkload(modelByName(model),

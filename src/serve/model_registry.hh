@@ -10,10 +10,20 @@
  *    a seed derived only from (registry seed, model name), so two
  *    registries with the same seed produce bit-identical workloads
  *    no matter which requests arrive first;
- *  - batch variants replicate the base inputs along a leading batch
- *    dimension (workload/model_workloads.hh withBatch), sharing the
- *    deployed model's weights — exactly the content-duplication a
- *    shared PlanCache exploits across requests;
+ *  - batch variants carry *distinct* per-sample content by default
+ *    (the real serving scenario: a request's samples are different
+ *    images): sample 0 is the batch-1 base and sample s >= 1 is
+ *    generated from a seed derived only from (model seed, s), so
+ *    batches of different sizes share their common sample prefix
+ *    (workload/model_workloads.hh withDistinctBatch). Weights,
+ *    profile, and declared bounds are the deployed model's, shared
+ *    across every batch size;
+ *  - BatchMode::Replicate instead replicates the batch-1 sample
+ *    via withBatch — the pre-QoS behavior, kept for equivalence-
+ *    style checks and cache-dedup studies that want every sample
+ *    bit-identical (the integration equivalence tests call
+ *    withBatch directly; the mode gives registry-driven harnesses
+ *    the same semantics);
  *  - entries are built on first use and live for the registry's
  *    lifetime, so the ModelWorkload pointers handed to the
  *    scheduler stay stable while requests are in flight.
@@ -37,11 +47,24 @@
 namespace s2ta {
 namespace serve {
 
+/** How batch > 1 entries derive their samples. */
+enum class BatchMode
+{
+    /** Seeded distinct content per sample index (the default). */
+    Distinct,
+    /** Replicate the batch-1 sample (equivalence-test mode). */
+    Replicate,
+};
+
 class ModelRegistry
 {
   public:
-    /** @param seed base seed every workload derives from. */
-    explicit ModelRegistry(uint64_t seed = 0x5E47E);
+    /**
+     * @param seed base seed every workload derives from.
+     * @param mode sample derivation for batch > 1 entries.
+     */
+    explicit ModelRegistry(uint64_t seed = 0x5E47E,
+                           BatchMode mode = BatchMode::Distinct);
 
     /**
      * Workload for (@p model, @p batch), built on first use. The
@@ -55,8 +78,14 @@ class ModelRegistry
     /** Distinct (model, batch) entries currently resident. */
     int entries() const { return static_cast<int>(cache.size()); }
 
+    BatchMode batchMode() const { return mode; }
+
   private:
+    /** Workload seed for @p model (pure function of the name). */
+    uint64_t modelSeed(const std::string &model) const;
+
     const uint64_t seed;
+    const BatchMode mode;
     /** Keyed by (model name, batch); batch-1 bases included. */
     std::map<std::pair<std::string, int>,
              std::unique_ptr<ModelWorkload>>

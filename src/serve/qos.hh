@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Pluggable admission policies for latency-aware serving.
+ *
+ * The virtual-clock event loop (serve/virtual_clock.hh) asks a
+ * policy, every time a lane frees up, which of the requests that
+ * have *arrived* by that virtual instant to dispatch next. Three
+ * policies ship:
+ *
+ *  - RoundRobin: dispatch in admission order (round-robin across
+ *    streams, submission order within a stream — exactly the order
+ *    the pre-QoS StreamScheduler executed in, preserved bit for bit
+ *    as the default);
+ *  - EarliestDeadlineFirst: dispatch the arrived request whose
+ *    deadline expires soonest (no-deadline requests sort last);
+ *  - ShortestJobFirst: dispatch the arrived request with the
+ *    smallest *estimated* service cycles. Estimates come from the
+ *    scheduler's per-workload memo: the first completed simulation
+ *    of a (model, batch) workload — itself served out of the shared
+ *    PlanCache — pins the estimate every later request with the
+ *    same workload is ordered by.
+ *
+ * Every policy is deterministic: ties break on admission index, so
+ * a fixed trace produces one dispatch order at any thread count.
+ *
+ * Policies only reorder *timing*. Which simulations run, and what
+ * they compute, is policy-independent — NetworkRuns are bitwise
+ * identical under every policy (enforced by bench_latency_serving
+ * and the serve tests).
+ */
+
+#ifndef S2TA_SERVE_QOS_HH
+#define S2TA_SERVE_QOS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace s2ta {
+namespace serve {
+
+/** Deadline value meaning "no deadline" (sorts after any real one). */
+inline constexpr double kNoDeadline =
+    std::numeric_limits<double>::infinity();
+
+/**
+ * The timing-relevant view of one admitted request, in virtual
+ * seconds. Indices into a vector of these are *admission indices*:
+ * the deterministic round-robin admission order of the scheduler.
+ */
+struct TimedRequest
+{
+    /** Open-loop arrival time (0 for closed-loop submissions). */
+    double arrival_s = 0.0;
+    /** Completion deadline, or kNoDeadline. */
+    double deadline_s = kNoDeadline;
+    /** Exact simulated service cycles of the request's NetworkRun. */
+    int64_t service_cycles = 0;
+    /** Policy-visible service estimate (per-workload memo). */
+    int64_t est_cycles = 0;
+    int stream = 0;
+    /** Scheduler-assigned request id. */
+    uint64_t id = 0;
+};
+
+/**
+ * Dispatch-order policy. pick() is called with the full admitted
+ * request vector plus the admission indices of every request that
+ * has arrived and not yet been dispatched (@p ready, ascending,
+ * never empty) and returns one element of @p ready.
+ *
+ * Implementations must be stateless and deterministic (ties broken
+ * on admission index), so one instance can serve any number of
+ * concurrent schedulers.
+ */
+class AdmissionPolicy
+{
+  public:
+    virtual ~AdmissionPolicy() = default;
+    /** CLI/artifact name ("rr", "edf", "sjf", ...). */
+    virtual const char *name() const = 0;
+    virtual size_t pick(const std::vector<TimedRequest> &all,
+                        const std::vector<size_t> &ready) const = 0;
+};
+
+/** The built-in policies. */
+enum class PolicyKind
+{
+    RoundRobin,
+    EarliestDeadlineFirst,
+    ShortestJobFirst,
+};
+
+/** Stateless shared instance of a built-in policy. */
+const AdmissionPolicy &policyFor(PolicyKind kind);
+
+/** CLI name of a built-in policy ("rr" | "edf" | "sjf"). */
+const char *policyName(PolicyKind kind);
+
+/** Accepted CLI policy names, for flag error messages. */
+inline const char *
+policyNameList()
+{
+    return "rr|edf|sjf";
+}
+
+/** Built-in policy by CLI name; fatal on unknown names, listing the
+ *  accepted values. */
+PolicyKind policyByName(const std::string &name);
+
+} // namespace serve
+} // namespace s2ta
+
+#endif // S2TA_SERVE_QOS_HH

@@ -12,6 +12,10 @@ StreamScheduler::StreamScheduler(const Accelerator &acc_,
     : acc(acc_), opts(std::move(opts_))
 {
     s2ta_assert(opts.threads >= 0, "threads=%d", opts.threads);
+    s2ta_assert(opts.clock.lanes >= 1, "clock.lanes=%d",
+                opts.clock.lanes);
+    s2ta_assert(opts.clock.clock_ghz > 0.0, "clock_ghz=%g",
+                opts.clock.clock_ghz);
     if (opts.threads > 1)
         own_pool = std::make_unique<ThreadPool>(opts.threads - 1);
 }
@@ -27,11 +31,14 @@ StreamScheduler::pool() const
 }
 
 uint64_t
-StreamScheduler::submit(int stream, const ModelWorkload &mw)
+StreamScheduler::submit(int stream, const ModelWorkload &mw,
+                        double arrival_s, double deadline_s)
 {
     s2ta_assert(stream >= 0, "stream=%d", stream);
+    s2ta_assert(arrival_s >= 0.0, "arrival_s=%g", arrival_s);
     const uint64_t id = next_id++;
-    queues[stream].push_back(Pending{id, stream, &mw});
+    queues[stream].push_back(
+        Pending{id, stream, &mw, arrival_s, deadline_s});
     return id;
 }
 
@@ -51,6 +58,20 @@ StreamScheduler::gemmCount(const ModelWorkload &mw)
     for (const LayerWorkload &wl : mw.layers)
         gemms += wl.shape.groups;
     return gemms;
+}
+
+std::pair<std::string, int>
+StreamScheduler::workloadKey(const ModelWorkload &mw)
+{
+    return {mw.spec.name,
+            mw.layers.empty() ? 1 : mw.layers.front().batch};
+}
+
+int64_t
+StreamScheduler::estimatedCycles(const ModelWorkload &mw) const
+{
+    const auto it = cycle_estimates.find(workloadKey(mw));
+    return it != cycle_estimates.end() ? it->second : 0;
 }
 
 std::vector<std::vector<Completion>>
@@ -75,12 +96,14 @@ StreamScheduler::drain()
             break;
     }
 
-    // Execution: whole requests fan out across the lanes; the
+    // Simulation: whole requests fan out across the lanes; the
     // accelerator's internal layer/group parallelFor runs inline
     // inside a lane (nested-parallelism rule of ThreadPool), so
     // request-level parallelism composes with the layer fan-out.
     // Each lane writes only its own slot; no cross-request state
-    // beyond the mutex-guarded PlanCache.
+    // beyond the mutex-guarded PlanCache. The admission policy
+    // plays no part here: every request is simulated regardless,
+    // so NetworkRuns are policy-independent by construction.
     std::vector<NetworkRun> runs(admitted.size());
     const auto run_one = [&](int64_t i) {
         runs[static_cast<size_t>(i)] = acc.runNetwork(
@@ -96,10 +119,40 @@ StreamScheduler::drain()
             run_one(static_cast<int64_t>(i));
     }
 
+    // Timing: replay the virtual clock over the simulated cycle
+    // totals on the draining thread. Service estimates are pinned
+    // per workload by the first simulated request (walked in
+    // admission order, so the memo is deterministic); SJF orders by
+    // the estimate, EDF by deadline, both tie-broken on admission
+    // index inside the event loop.
+    std::vector<TimedRequest> timed(admitted.size());
+    for (size_t i = 0; i < admitted.size(); ++i) {
+        const Pending &p = admitted[i];
+        const int64_t cycles = runs[i].total.cycles;
+        auto it = cycle_estimates.find(workloadKey(*p.model));
+        if (it == cycle_estimates.end()) {
+            it = cycle_estimates
+                     .emplace(workloadKey(*p.model), cycles)
+                     .first;
+        }
+        timed[i].arrival_s = p.arrival_s;
+        timed[i].deadline_s = p.deadline_s;
+        timed[i].service_cycles = cycles;
+        timed[i].est_cycles = it->second;
+        timed[i].stream = p.stream;
+        timed[i].id = p.id;
+    }
+    const AdmissionPolicy &policy =
+        opts.policy ? *opts.policy
+                    : policyFor(PolicyKind::RoundRobin);
+    const std::vector<LaneAssignment> lanes =
+        scheduleOnLanes(opts.clock, timed, policy);
+
     // Reduction: walk admission order (which preserves per-stream
     // submission order) and group completions by stream, so every
     // stream observes its requests complete strictly in the order
-    // it issued them, independent of execution interleaving.
+    // it issued them, independent of execution interleaving and of
+    // the policy's dispatch order.
     std::vector<std::vector<Completion>> by_stream(queues.size());
     std::map<int, size_t> stream_slot;
     for (const auto &[stream, q] : queues)
@@ -114,6 +167,12 @@ StreamScheduler::drain()
                       ? 1
                       : p.model->layers.front().batch;
         c.gemms = gemmCount(*p.model);
+        c.arrival_s = p.arrival_s;
+        c.start_s = lanes[i].start_s;
+        c.finish_s = lanes[i].finish_s;
+        c.deadline_s = p.deadline_s;
+        c.lane = lanes[i].lane;
+        c.service_cycles = timed[i].service_cycles;
         c.run = std::move(runs[i]);
 
         totals.requests += 1;

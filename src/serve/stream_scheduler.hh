@@ -1,24 +1,37 @@
 /**
  * @file
  * Serving-style streaming driver: many concurrent inference streams
- * through one Accelerator instance.
+ * through one Accelerator instance, with virtual-clock QoS timing.
  *
  * A stream models one client connection issuing requests in order;
  * a request names a servable workload (any zoo model at any batch
- * size — see serve/model_registry.hh). The scheduler pulls
- * requests from the per-stream FIFO queues in deterministic
- * round-robin admission order, fans them out across a thread pool
- * (each lane simulates whole requests; the accelerator's own
- * layer/group fan-out runs inline inside that lane), and completes
- * each stream's requests strictly in submission order.
+ * size — see serve/model_registry.hh) plus, optionally, a virtual
+ * arrival time and deadline. The scheduler pulls requests from the
+ * per-stream FIFO queues in deterministic round-robin admission
+ * order, fans the *simulations* out across a thread pool (each lane
+ * simulates whole requests; the accelerator's own layer/group
+ * fan-out runs inline inside that lane), assigns every request a
+ * virtual start/finish instant by replaying the configured
+ * AdmissionPolicy over the virtual lanes (serve/virtual_clock.hh),
+ * and completes each stream's requests strictly in submission
+ * order.
  *
  * Determinism contract: for a fixed submission sequence and fixed
- * options, drain() produces bitwise-identical NetworkRuns at every
- * thread count — requests are independent simulations, results are
- * written to per-request slots, and the per-stream reduction walks
- * admission order. Sharing a PlanCache across streams never changes
- * results either (plans are content-fingerprinted), it only makes
- * repeated (model, batch) workloads skip the lowering + encoding.
+ * options, drain() produces bitwise-identical NetworkRuns *and*
+ * virtual timings at every thread count — requests are independent
+ * simulations, results are written to per-request slots, the
+ * virtual clock runs on the draining thread over deterministic
+ * inputs, and the per-stream reduction walks admission order.
+ * Sharing a PlanCache across streams never changes results either
+ * (plans are content-fingerprinted), it only makes repeated
+ * (model, batch) workloads skip the lowering + encoding.
+ *
+ * Policy contract: the admission policy reorders *dispatch timing*
+ * only. Which simulations run, what they compute, the per-stream
+ * completion grouping, and the on_complete order are all
+ * policy-independent — every policy yields bitwise-identical
+ * NetworkRuns (enforced by bench_latency_serving and the serve
+ * tests).
  */
 
 #ifndef S2TA_SERVE_STREAM_SCHEDULER_HH
@@ -28,9 +41,12 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "arch/accelerator.hh"
+#include "serve/telemetry.hh"
+#include "serve/virtual_clock.hh"
 #include "workload/model_workloads.hh"
 
 namespace s2ta {
@@ -51,8 +67,37 @@ struct Completion
     int batch = 1;
     /** GEMM simulations the request issued (sum of layer groups). */
     int64_t gemms = 0;
+
+    // Virtual-clock timing (seconds of simulated time; see
+    // serve/virtual_clock.hh). With default submissions (arrival 0,
+    // no deadline) these are still filled — a closed-loop trace is
+    // just an open-loop one where everything arrives at t = 0.
+    double arrival_s = 0.0;
+    double start_s = 0.0;
+    double finish_s = 0.0;
+    /** Deadline the request carried, or kNoDeadline. */
+    double deadline_s = kNoDeadline;
+    /** Virtual lane the request was dispatched on. */
+    int lane = 0;
+    /** Simulated cycles behind finish - start. */
+    int64_t service_cycles = 0;
+
     /** The whole-network simulation outcome. */
     NetworkRun run;
+
+    /** This completion's timing, ready for LatencyTelemetry. */
+    LatencySample
+    sample() const
+    {
+        return LatencySample{stream, arrival_s, start_s, finish_s,
+                             deadline_s};
+    }
+
+    bool
+    missedDeadline() const
+    {
+        return sample().missedDeadline();
+    }
 };
 
 /** Aggregate counters over everything a scheduler has drained. */
@@ -79,17 +124,32 @@ class StreamScheduler
          */
         NetworkRunOptions run;
         /**
-         * Request-level fan-out lanes: 0 = one lane per hardware
-         * thread (the process-wide pool), 1 = serial, N > 1 = a
-         * dedicated pool of N lanes. Results are identical at any
-         * setting.
+         * Request-level fan-out lanes for the *simulation*: 0 = one
+         * lane per hardware thread (the process-wide pool), 1 =
+         * serial, N > 1 = a dedicated pool of N lanes. Results and
+         * virtual timings are identical at any setting.
          */
         int threads = 0;
         /**
+         * Virtual deployment the QoS timing is computed against:
+         * accelerator lanes and clock. Independent of `threads`
+         * (which only fans out the simulation work).
+         */
+        VirtualClockConfig clock;
+        /**
+         * Dispatch-order policy for the virtual clock; borrowed,
+         * nullptr = round-robin (admission order, the pre-QoS
+         * behavior, preserved bit for bit). Policies never change
+         * simulation results, only start/finish instants.
+         */
+        const AdmissionPolicy *policy = nullptr;
+        /**
          * Invoked once per completion during drain(), in
          * deterministic admission order (round-robin across
-         * streams, submission order within a stream). Runs on the
-         * draining thread after all simulation finished.
+         * streams, submission order within a stream) — regardless
+         * of the admission policy, which only affects the timing
+         * fields. Runs on the draining thread after all simulation
+         * and timing assignment finished.
          */
         std::function<void(const Completion &)> on_complete;
     };
@@ -107,10 +167,16 @@ class StreamScheduler
     /**
      * Append a request for @p mw to @p stream's queue. The workload
      * is borrowed and must stay alive until drain() returns.
+     * @param arrival_s virtual arrival instant (open-loop traces
+     *        come from poissonArrivals; 0 = closed-loop).
+     * @param deadline_s virtual completion deadline, or
+     *        kNoDeadline.
      * @return the scheduler-assigned request id.
      * Not thread-safe (one driver thread submits and drains).
      */
-    uint64_t submit(int stream, const ModelWorkload &mw);
+    uint64_t submit(int stream, const ModelWorkload &mw,
+                    double arrival_s = 0.0,
+                    double deadline_s = kNoDeadline);
 
     /** Requests queued and not yet drained. */
     int64_t pending() const;
@@ -118,9 +184,10 @@ class StreamScheduler
     /**
      * Run every queued request to completion and deliver results.
      * Admission interleaves the streams round-robin (ascending
-     * stream id, one request per stream per round); execution fans
-     * out over the configured lanes; completions are reduced back
-     * into per-stream submission order.
+     * stream id, one request per stream per round); simulation fans
+     * out over the configured lanes; the virtual clock assigns
+     * start/finish instants per the configured policy; completions
+     * are reduced back into per-stream submission order.
      *
      * @return completions grouped by stream (ascending stream id),
      *         each group in submission order.
@@ -129,6 +196,15 @@ class StreamScheduler
 
     /** Counters accumulated over every drain() so far. */
     const ServeStats &stats() const { return totals; }
+
+    /**
+     * Cached service-cycle estimate for @p mw's servable identity
+     * (zoo model name, batch): the cycle total of the first
+     * simulated request carrying it (pinned for the scheduler's
+     * lifetime — the estimate SJF orders by), or 0 before any
+     * request for it drained.
+     */
+    int64_t estimatedCycles(const ModelWorkload &mw) const;
 
     /** GEMM simulations one request for @p mw issues. */
     static int64_t gemmCount(const ModelWorkload &mw);
@@ -139,6 +215,8 @@ class StreamScheduler
         uint64_t id;
         int stream;
         const ModelWorkload *model;
+        double arrival_s;
+        double deadline_s;
     };
 
     ThreadPool *pool() const;
@@ -149,6 +227,18 @@ class StreamScheduler
     std::unique_ptr<ThreadPool> own_pool;
     /** Per-stream FIFO queues, keyed by stream id. */
     std::map<int, std::vector<Pending>> queues;
+    /** Servable identity of a workload: (zoo model name, batch). */
+    static std::pair<std::string, int>
+    workloadKey(const ModelWorkload &mw);
+
+    /**
+     * Per-workload service-cycle estimates, pinned by the first
+     * simulated request of each workload (in admission order, so
+     * deterministic). Keyed by the servable identity — not the
+     * workload's address, which submit() only requires to stay
+     * valid until drain() returns.
+     */
+    std::map<std::pair<std::string, int>, int64_t> cycle_estimates;
     uint64_t next_id = 1;
     ServeStats totals;
 };

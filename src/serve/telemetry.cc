@@ -1,0 +1,117 @@
+#include "serve/telemetry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace s2ta {
+namespace serve {
+
+void
+LatencyTelemetry::record(const LatencySample &s)
+{
+    const double latency = s.latency();
+    const double queue = s.queueing();
+    s2ta_assert(latency >= 0.0, "negative latency %g", latency);
+    s2ta_assert(queue >= 0.0, "negative queueing delay %g", queue);
+
+    latencies_s.push_back(latency);
+    bucket_counts[bucketOf(latency)] += 1;
+    total += 1;
+    latency_sum_s += latency;
+    latency_max_s = std::max(latency_max_s, latency);
+
+    StreamDelay &sd = streams[s.stream];
+    sd.requests += 1;
+    sd.queue_sum_s += queue;
+    sd.queue_max_s = std::max(sd.queue_max_s, queue);
+
+    if (s.hasDeadline()) {
+        with_deadline += 1;
+        if (s.missedDeadline()) {
+            misses += 1;
+            sd.deadline_misses += 1;
+        }
+    }
+}
+
+namespace {
+
+/** Nearest rank over an ascending sample list: ceil(q*n), 1-based. */
+double
+rankOf(const std::vector<double> &sorted, double q)
+{
+    const size_t n = sorted.size();
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    rank = std::min(std::max<size_t>(rank, 1), n);
+    return sorted[rank - 1];
+}
+
+} // anonymous namespace
+
+double
+LatencyTelemetry::quantile(double q) const
+{
+    s2ta_assert(q > 0.0 && q <= 1.0, "quantile %g out of (0, 1]",
+                q);
+    s2ta_assert(total > 0, "quantile of an empty telemetry");
+    std::vector<double> sorted = latencies_s;
+    std::sort(sorted.begin(), sorted.end());
+    return rankOf(sorted, q);
+}
+
+LatencyQuantiles
+LatencyTelemetry::quantiles() const
+{
+    s2ta_assert(total > 0, "quantiles of an empty telemetry");
+    std::vector<double> sorted = latencies_s;
+    std::sort(sorted.begin(), sorted.end());
+    return {rankOf(sorted, 0.50), rankOf(sorted, 0.95),
+            rankOf(sorted, 0.99)};
+}
+
+size_t
+LatencyTelemetry::bucketOf(double latency_s)
+{
+    const double us = latency_s * 1e6;
+    if (us < 2.0)
+        return 0;
+    const size_t k =
+        static_cast<size_t>(std::floor(std::log2(us)));
+    return std::min(k, kBuckets - 1);
+}
+
+std::vector<HistogramBin>
+LatencyTelemetry::histogram() const
+{
+    std::vector<HistogramBin> bins;
+    for (size_t k = 0; k < kBuckets; ++k) {
+        if (bucket_counts[k] == 0)
+            continue;
+        HistogramBin bin;
+        bin.lo_s = k == 0 ? 0.0 : std::ldexp(1e-6, static_cast<int>(k));
+        bin.hi_s = std::ldexp(1e-6, static_cast<int>(k) + 1);
+        bin.count = bucket_counts[k];
+        bins.push_back(bin);
+    }
+    return bins;
+}
+
+void
+LatencyTelemetry::clear()
+{
+    latencies_s.clear();
+    std::fill(std::begin(bucket_counts), std::end(bucket_counts),
+              0);
+    streams.clear();
+    total = 0;
+    with_deadline = 0;
+    misses = 0;
+    latency_sum_s = 0.0;
+    latency_max_s = 0.0;
+}
+
+} // namespace serve
+} // namespace s2ta

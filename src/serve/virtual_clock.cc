@@ -1,0 +1,108 @@
+#include "serve/virtual_clock.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace s2ta {
+namespace serve {
+
+std::vector<LaneAssignment>
+scheduleOnLanes(const VirtualClockConfig &cfg,
+                const std::vector<TimedRequest> &reqs,
+                const AdmissionPolicy &policy)
+{
+    s2ta_assert(cfg.lanes >= 1, "lanes=%d", cfg.lanes);
+    s2ta_assert(cfg.clock_ghz > 0.0, "clock_ghz=%g", cfg.clock_ghz);
+    const size_t n = reqs.size();
+    for (const TimedRequest &r : reqs) {
+        s2ta_assert(r.arrival_s >= 0.0, "arrival %g < 0",
+                    r.arrival_s);
+        s2ta_assert(r.service_cycles >= 0, "service %lld < 0",
+                    static_cast<long long>(r.service_cycles));
+    }
+
+    // Admission indices in arrival order; stable_sort keeps equal
+    // arrivals in admission order, so the ready set below is always
+    // built deterministically.
+    std::vector<size_t> by_arrival(n);
+    std::iota(by_arrival.begin(), by_arrival.end(), size_t{0});
+    std::stable_sort(by_arrival.begin(), by_arrival.end(),
+                     [&](size_t a, size_t b) {
+                         return reqs[a].arrival_s <
+                                reqs[b].arrival_s;
+                     });
+
+    std::vector<LaneAssignment> out(n);
+    std::vector<double> lane_free(static_cast<size_t>(cfg.lanes),
+                                  0.0);
+    // Requests arrived by the current horizon and not yet
+    // dispatched, kept in ascending admission order (the contract
+    // AdmissionPolicy::pick relies on for tie-breaking).
+    std::vector<size_t> ready;
+    size_t next_arrival = 0; // cursor into by_arrival
+
+    const auto admit_until = [&](double horizon) {
+        bool added = false;
+        while (next_arrival < n &&
+               reqs[by_arrival[next_arrival]].arrival_s <=
+                   horizon) {
+            ready.push_back(by_arrival[next_arrival++]);
+            added = true;
+        }
+        if (added)
+            std::sort(ready.begin(), ready.end());
+    };
+
+    for (size_t dispatched = 0; dispatched < n; ++dispatched) {
+        // Earliest-free lane, lowest index on ties.
+        size_t lane = 0;
+        for (size_t l = 1; l < lane_free.size(); ++l) {
+            if (lane_free[l] < lane_free[lane])
+                lane = l;
+        }
+        double t = lane_free[lane];
+        admit_until(t);
+        if (ready.empty()) {
+            // Work conservation: the lane idles only until the next
+            // arrival (which must exist — not everything is
+            // dispatched and nothing is ready).
+            t = reqs[by_arrival[next_arrival]].arrival_s;
+            admit_until(t);
+        }
+        const size_t i = policy.pick(reqs, ready);
+        const auto it =
+            std::find(ready.begin(), ready.end(), i);
+        s2ta_assert(it != ready.end(),
+                    "policy '%s' picked index %zu outside the "
+                    "ready set", policy.name(), i);
+        ready.erase(it);
+
+        out[i].lane = static_cast<int>(lane);
+        out[i].start_s = t;
+        out[i].finish_s =
+            t + cfg.cyclesToSeconds(reqs[i].service_cycles);
+        lane_free[lane] = out[i].finish_s;
+    }
+    return out;
+}
+
+std::vector<double>
+poissonArrivals(int n, double rate_rps, Rng &rng)
+{
+    s2ta_assert(n >= 0, "n=%d", n);
+    s2ta_assert(rate_rps > 0.0, "rate_rps=%g", rate_rps);
+    std::vector<double> arrivals(static_cast<size_t>(n));
+    double t = 0.0;
+    for (int i = 0; i < n; ++i) {
+        // Inverse-CDF exponential gap; u in [0, 1) keeps the log
+        // argument strictly positive.
+        const double u = rng.uniformReal();
+        t += -std::log1p(-u) / rate_rps;
+        arrivals[static_cast<size_t>(i)] = t;
+    }
+    return arrivals;
+}
+
+} // namespace serve
+} // namespace s2ta

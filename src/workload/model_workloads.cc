@@ -10,6 +10,42 @@ namespace s2ta {
 
 namespace {
 
+/**
+ * Order-dependent mix of a value into a running seed (splitmix64
+ * finalizer, the same construction PlanCache::combine uses). Local
+ * so the workload layer does not depend upward on arch for a
+ * two-word hash.
+ */
+uint64_t
+mixSeed(uint64_t seed, uint64_t value)
+{
+    uint64_t x = seed ^ (value + 0x9e3779b97f4a7c15ull);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+// Dense (8/8) entries still carry mild unstructured sparsity: real
+// "dense" CNN tensors are never zero-free, and ZVCG baselines
+// legitimately exploit that. Shared by buildModelWorkload and the
+// distinct-sample batch generator so every sample of a batch obeys
+// the same operating point.
+constexpr double kDenseActSparsity = 0.35;
+constexpr double kDenseWgtSparsity = 0.20;
+
+/** One layer input with the profile's A-DBB structure. */
+Int8Tensor
+makeLayerInput(const std::vector<int> &shape, int act_nnz, Rng &rng)
+{
+    return act_nnz >= 8
+               ? makeUnstructuredTensor(shape, kDenseActSparsity,
+                                        rng)
+               : makeDbbTensor(shape, act_nnz, rng);
+}
+
 /** Linear interpolation over layer depth, rounded to an int. */
 int
 interpDepth(double frac, int from, int to)
@@ -137,12 +173,6 @@ buildModelWorkload(const ModelSpec &spec,
     mw.profile = std::move(profile);
     mw.layers.reserve(spec.layers.size());
 
-    // Dense (8/8) entries still carry mild unstructured sparsity:
-    // real "dense" CNN tensors are never zero-free, and ZVCG
-    // baselines legitimately exploit that.
-    constexpr double kDenseActSparsity = 0.35;
-    constexpr double kDenseWgtSparsity = 0.20;
-
     for (size_t i = 0; i < spec.layers.size(); ++i) {
         const ModelLayer &ml = spec.layers[i];
         const LayerSparsity &ls = mw.profile[i];
@@ -166,11 +196,7 @@ buildModelWorkload(const ModelSpec &spec,
         const std::vector<int> in_shape = {ml.shape.in_h,
                                            ml.shape.in_w,
                                            ml.shape.in_c};
-        wl.input =
-            ls.act_nnz >= 8
-                ? makeUnstructuredTensor(in_shape, kDenseActSparsity,
-                                         rng)
-                : makeDbbTensor(in_shape, ls.act_nnz, rng);
+        wl.input = makeLayerInput(in_shape, ls.act_nnz, rng);
 
         const std::vector<int> w_shape = {ml.shape.kernel_h,
                                           ml.shape.kernel_w,
@@ -232,6 +258,69 @@ withBatch(const ModelWorkload &base, int batch)
             std::memcpy(wl.input.data() +
                             static_cast<size_t>(s) * sample_bytes,
                         bl.input.data(), sample_bytes);
+        }
+        mw.layers.push_back(std::move(wl));
+    }
+    return mw;
+}
+
+ModelWorkload
+withDistinctBatch(const ModelWorkload &base, int batch,
+                  uint64_t seed)
+{
+    s2ta_assert(batch >= 1, "batch=%d", batch);
+    s2ta_assert(base.profile.size() == base.layers.size(),
+                "profile/layer mismatch");
+    if (batch == 1)
+        return base;
+
+    // One generator stream per extra sample, seeded only by (seed,
+    // sample index) and drawn in layer order — sample s of a
+    // batch-2 request is bit-identical to sample s of a batch-8
+    // one, and arrival order can never change content.
+    std::vector<Rng> sample_rng;
+    sample_rng.reserve(static_cast<size_t>(batch - 1));
+    for (int s = 1; s < batch; ++s) {
+        sample_rng.emplace_back(
+            mixSeed(seed, static_cast<uint64_t>(s)));
+    }
+
+    ModelWorkload mw;
+    mw.spec = base.spec;
+    mw.profile = base.profile;
+    mw.layers.reserve(base.layers.size());
+    for (size_t l = 0; l < base.layers.size(); ++l) {
+        const LayerWorkload &bl = base.layers[l];
+        s2ta_assert(bl.batch == 1,
+                    "layer '%s' is already batched (%d)",
+                    bl.name.c_str(), bl.batch);
+        LayerWorkload wl;
+        wl.name = bl.name;
+        wl.shape = bl.shape;
+        wl.batch = batch;
+        wl.act_nnz = bl.act_nnz;
+        wl.wgt_nnz = bl.wgt_nnz;
+        wl.weights = bl.weights;
+
+        const std::vector<int> sample_shape = bl.input.shape();
+        std::vector<int> in_shape = sample_shape;
+        in_shape.insert(in_shape.begin(), batch);
+        wl.input = Int8Tensor(in_shape);
+        const size_t sample_bytes =
+            static_cast<size_t>(bl.input.size());
+        std::memcpy(wl.input.data(), bl.input.data(),
+                    sample_bytes);
+        for (int s = 1; s < batch; ++s) {
+            // Same generator rule as buildModelWorkload, so every
+            // sample satisfies the layer's declared bounds (narrow
+            // layers satisfy their tightened bound structurally:
+            // padded channel segments cap the per-block NNZ).
+            const Int8Tensor t = makeLayerInput(
+                sample_shape, mw.profile[l].act_nnz,
+                sample_rng[static_cast<size_t>(s - 1)]);
+            std::memcpy(wl.input.data() +
+                            static_cast<size_t>(s) * sample_bytes,
+                        t.data(), sample_bytes);
         }
         mw.layers.push_back(std::move(wl));
     }

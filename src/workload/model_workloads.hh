@@ -72,6 +72,22 @@ ModelWorkload buildModelWorkload(const ModelSpec &spec,
  */
 ModelWorkload withBatch(const ModelWorkload &base, int batch);
 
+/**
+ * Batched variant with *distinct* per-sample content — the real
+ * serving scenario, where a request's samples are different images.
+ * Every layer keeps the deployed model's weights, profile, and
+ * declared sparsity bounds; its input gains a leading batch
+ * dimension where sample 0 is the base input and sample s >= 1 is
+ * freshly generated from an Rng seeded only by (@p seed, s) with
+ * the layer's profile structure (same generator rules as
+ * buildModelWorkload). Sample content is therefore a pure function
+ * of (base, seed, sample index): batches of different sizes share
+ * their common prefix of samples, and request arrival order can
+ * never change what is served. @p batch == 1 returns a plain copy.
+ */
+ModelWorkload withDistinctBatch(const ModelWorkload &base,
+                                int batch, uint64_t seed);
+
 } // namespace s2ta
 
 #endif // S2TA_WORKLOAD_MODEL_WORKLOADS_HH

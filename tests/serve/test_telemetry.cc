@@ -1,0 +1,175 @@
+/** @file Telemetry contract: quantiles are exact nearest-rank
+ *  values (checked against a sorted-reference oracle), per-stream
+ *  queueing breakdowns and deadline-miss accounting are exact, the
+ *  histogram partitions every sample, and clear() resets. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/random.hh"
+#include "serve/telemetry.hh"
+
+namespace s2ta {
+namespace serve {
+namespace {
+
+LatencySample
+sample(int stream, double arrival, double start, double finish,
+       double deadline = kNoDeadline)
+{
+    return LatencySample{stream, arrival, start, finish, deadline};
+}
+
+/** Independent nearest-rank oracle over the raw latency list. */
+double
+oracleQuantile(std::vector<double> latencies, double q)
+{
+    std::sort(latencies.begin(), latencies.end());
+    const size_t n = latencies.size();
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return latencies[rank - 1];
+}
+
+TEST(LatencyTelemetry, QuantilesMatchSortedOracle)
+{
+    Rng rng(0xDECAF);
+    for (const int n : {1, 2, 3, 7, 100, 1777}) {
+        LatencyTelemetry t;
+        std::vector<double> latencies;
+        for (int i = 0; i < n; ++i) {
+            // Arrival 0 so the recorded latency is exactly `lat`
+            // (an offset would perturb the low bits of the
+            // finish - arrival difference).
+            const double lat = rng.uniformReal(1e-6, 5.0);
+            latencies.push_back(lat);
+            t.record(sample(i % 4, 0.0, 0.0, lat));
+        }
+        ASSERT_EQ(t.count(), n);
+        for (const double q : {0.01, 0.25, 0.50, 0.90, 0.95, 0.99,
+                               1.0}) {
+            EXPECT_DOUBLE_EQ(t.quantile(q),
+                             oracleQuantile(latencies, q))
+                << "n=" << n << " q=" << q;
+        }
+        const LatencyQuantiles lq = t.quantiles();
+        EXPECT_DOUBLE_EQ(lq.p50_s, oracleQuantile(latencies, 0.5));
+        EXPECT_DOUBLE_EQ(lq.p95_s,
+                         oracleQuantile(latencies, 0.95));
+        EXPECT_DOUBLE_EQ(lq.p99_s,
+                         oracleQuantile(latencies, 0.99));
+    }
+}
+
+TEST(LatencyTelemetry, QuantileIsRecordOrderIndependent)
+{
+    const std::vector<double> latencies = {0.5, 0.1, 0.9, 0.3,
+                                           0.7};
+    LatencyTelemetry fwd, rev;
+    for (const double lat : latencies)
+        fwd.record(sample(0, 0.0, 0.0, lat));
+    for (auto it = latencies.rbegin(); it != latencies.rend(); ++it)
+        rev.record(sample(0, 0.0, 0.0, *it));
+    for (const double q : {0.2, 0.5, 0.95})
+        EXPECT_DOUBLE_EQ(fwd.quantile(q), rev.quantile(q));
+}
+
+TEST(LatencyTelemetry, PerStreamQueueingBreakdown)
+{
+    LatencyTelemetry t;
+    // Stream 3: queues of 1 and 3; stream 8: queue of 0.
+    t.record(sample(3, 0.0, 1.0, 2.0));
+    t.record(sample(3, 2.0, 5.0, 6.0));
+    t.record(sample(8, 0.0, 0.0, 4.0));
+    const auto &by = t.byStream();
+    ASSERT_EQ(by.size(), 2u);
+    const StreamDelay &s3 = by.at(3);
+    EXPECT_EQ(s3.requests, 2);
+    EXPECT_DOUBLE_EQ(s3.queue_sum_s, 4.0);
+    EXPECT_DOUBLE_EQ(s3.meanQueue(), 2.0);
+    EXPECT_DOUBLE_EQ(s3.queue_max_s, 3.0);
+    const StreamDelay &s8 = by.at(8);
+    EXPECT_EQ(s8.requests, 1);
+    EXPECT_DOUBLE_EQ(s8.meanQueue(), 0.0);
+}
+
+TEST(LatencyTelemetry, DeadlineAccounting)
+{
+    LatencyTelemetry t;
+    t.record(sample(0, 0.0, 0.0, 1.0));           // no deadline
+    t.record(sample(0, 0.0, 0.0, 1.0, 2.0));      // met
+    t.record(sample(1, 0.0, 0.0, 3.0, 2.0));      // missed
+    t.record(sample(1, 0.0, 0.0, 2.0, 2.0));      // met (exact)
+    EXPECT_EQ(t.count(), 4);
+    EXPECT_EQ(t.deadlineRequests(), 3);
+    EXPECT_EQ(t.deadlineMisses(), 1);
+    EXPECT_DOUBLE_EQ(t.missRate(), 1.0 / 3.0);
+    EXPECT_EQ(t.byStream().at(0).deadline_misses, 0);
+    EXPECT_EQ(t.byStream().at(1).deadline_misses, 1);
+
+    LatencyTelemetry none;
+    none.record(sample(0, 0.0, 0.0, 1.0));
+    EXPECT_DOUBLE_EQ(none.missRate(), 0.0);
+}
+
+TEST(LatencyTelemetry, HistogramPartitionsEverySample)
+{
+    LatencyTelemetry t;
+    Rng rng(0xB1A5);
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+        // Latencies spanning sub-us to tens of seconds.
+        const double lat = std::pow(
+            10.0, rng.uniformReal(-7.0, 1.5));
+        t.record(sample(0, 0.0, 0.0, lat));
+    }
+    const auto bins = t.histogram();
+    int64_t total = 0;
+    for (size_t i = 0; i < bins.size(); ++i) {
+        EXPECT_GT(bins[i].count, 0); // only populated bins
+        EXPECT_LT(bins[i].lo_s, bins[i].hi_s);
+        if (i > 0) {
+            EXPECT_GE(bins[i].lo_s, bins[i - 1].hi_s - 1e-12);
+        }
+        total += bins[i].count;
+    }
+    EXPECT_EQ(total, n);
+}
+
+TEST(LatencyTelemetry, MeanMaxAndClear)
+{
+    LatencyTelemetry t;
+    t.record(sample(0, 0.0, 0.0, 1.0));
+    t.record(sample(1, 0.0, 1.0, 3.0, 0.5));
+    EXPECT_DOUBLE_EQ(t.meanLatency(), 2.0);
+    EXPECT_DOUBLE_EQ(t.maxLatency(), 3.0);
+    t.clear();
+    EXPECT_EQ(t.count(), 0);
+    EXPECT_EQ(t.deadlineRequests(), 0);
+    EXPECT_EQ(t.deadlineMisses(), 0);
+    EXPECT_TRUE(t.byStream().empty());
+    EXPECT_TRUE(t.histogram().empty());
+    EXPECT_DOUBLE_EQ(t.meanLatency(), 0.0);
+}
+
+TEST(LatencySample, Helpers)
+{
+    const LatencySample s = sample(2, 1.0, 3.0, 7.0, 6.0);
+    EXPECT_DOUBLE_EQ(s.latency(), 6.0);
+    EXPECT_DOUBLE_EQ(s.queueing(), 2.0);
+    EXPECT_TRUE(s.hasDeadline());
+    EXPECT_TRUE(s.missedDeadline());
+    const LatencySample open = sample(2, 1.0, 3.0, 7.0);
+    EXPECT_FALSE(open.hasDeadline());
+    EXPECT_FALSE(open.missedDeadline());
+}
+
+} // anonymous namespace
+} // namespace serve
+} // namespace s2ta
