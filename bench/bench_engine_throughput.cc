@@ -13,7 +13,8 @@
  *   bench_engine_throughput [--smoke] [--model NAME]
  *                           [--arch s2ta-w|s2ta-aw] [--json PATH]
  *                           [--reps N] [--threads N]
- *                           [--engine scalar|fast]
+ *                           [--cache-mb N] [--spill-mb N]
+ *                           [--plan-store DIR]
  *
  * --smoke runs LeNet-5 (seconds, for CI); the default is a
  * ResNet-50 full-model run at a uniform 4/8 DBB operating point.
@@ -22,6 +23,7 @@
  */
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -121,11 +123,11 @@ main(int argc, char **argv)
     // The sweep operating point: same engine with a warm PlanCache,
     // i.e. the marginal cost of one more design point after the
     // workload has been encoded once. --cache-mb bounds it
-    // (unbounded by default: one model's encodings fit comfortably).
-    PlanCache cache(0, args.cache_mb > 0
-                           ? static_cast<int64_t>(args.cache_mb)
-                                 << 20
-                           : 0);
+    // (unbounded by default: one model's encodings fit comfortably),
+    // --spill-mb keeps evictions rehydratable, and --plan-store
+    // persists the encodings so a second invocation warm-starts.
+    BenchCache tiers(args, /*default_cache_mb=*/0);
+    PlanCache &cache = tiers.cache;
     NetworkRunOptions cached_opt = fast_opt;
     cached_opt.plan_cache = &cache;
 
@@ -195,6 +197,10 @@ main(int argc, char **argv)
         .field("speedup_cached", speedup_cached, 3)
         .field("fast_layers_per_sec", layers_per_sec, 3)
         .field("fast_sim_macs_per_sec", macs_per_sec, 0)
+        .field("plan_store", !args.plan_store.empty())
+        .field("store_hits", cache.stats().store_hits)
+        .field("store_saves", cache.stats().store_saves)
+        .field("spill_hits", cache.stats().spill_hits)
         .field("bitwise_equal", equal);
     jw.write(json_path);
     return 0;

@@ -21,6 +21,7 @@
  *
  * Usage: bench_latency_serving [--smoke] [--json PATH]
  *          [--threads N] [--arch s2ta-w|s2ta-aw] [--cache-mb N]
+ *          [--spill-mb N] [--plan-store DIR]
  *        (--model / --no-plan-cache / --engine / --reps are
  *         rejected: the trace is mixed-model by definition, the
  *         shared budgeted cache is part of the scenario, results
@@ -33,6 +34,7 @@
 #include <array>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -134,7 +136,8 @@ main(int argc, char **argv)
                                        : ArrayConfig::s2taAw(4);
     acfg.sim_threads = args.ctx.threads;
     const Accelerator acc(acfg);
-    PlanCache cache(0, static_cast<int64_t>(cache_budget_mb) << 20);
+    BenchCache tiers(args, cache_budget_mb);
+    PlanCache &cache = tiers.cache;
 
     NetworkRunOptions run_opt;
     run_opt.validate_operands = false;
@@ -368,11 +371,12 @@ main(int argc, char **argv)
     }
 
     const PlanCache::Stats cs = cache.stats();
+    const int64_t lookups =
+        cs.hits + cs.spill_hits + cs.store_hits + cs.misses;
     const double hit_rate =
-        cs.hits + cs.misses == 0
-            ? 0.0
-            : static_cast<double>(cs.hits) /
-                  static_cast<double>(cs.hits + cs.misses);
+        lookups == 0 ? 0.0
+                     : static_cast<double>(cs.hits) /
+                           static_cast<double>(lookups);
     std::printf("gates: edf miss %.0f%% vs rr %.0f%% (%s) | "
                 "bitwise-equal policies %s | deterministic timing "
                 "%s | cache hit rate %.1f%%\n",
@@ -386,6 +390,11 @@ main(int argc, char **argv)
         .field("cache_misses", cs.misses)
         .field("cache_evictions", cs.evictions)
         .field("cache_hit_rate", hit_rate, 4)
+        .field("spill_budget_mb", args.spill_mb)
+        .field("spill_hits", cs.spill_hits)
+        .field("spill_evictions", cs.spill_evictions)
+        .field("plan_store", !args.plan_store.empty())
+        .field("store_hits", cs.store_hits)
         .field("edf_miss_le_rr", edf_le_rr)
         .field("bitwise_equal_policies", bitwise_equal_policies)
         .field("deterministic_timing", deterministic_timing);

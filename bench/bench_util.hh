@@ -20,6 +20,7 @@
 #include "arch/accelerator.hh"
 #include "arch/models.hh"
 #include "arch/plan_cache.hh"
+#include "arch/plan_store.hh"
 #include "base/table.hh"
 #include "base/thread_pool.hh"
 #include "core/dap.hh"
@@ -94,14 +95,28 @@ class SweepContext
         size_t cache_entries = 0;
         /** Plan-cache resident-byte budget (0 = unbounded). */
         int64_t cache_bytes = 0;
+        /** Spill-tier byte budget for evicted plans in compact
+         *  form (0 = tier disabled). */
+        int64_t spill_bytes = 0;
+        /** Persistent plan-store directory shared across contexts,
+         *  reps, and processes (empty = no store). */
+        std::string plan_store_dir;
         /** Operand density validation (benches trust their
          *  generators; tests turn it on). */
         bool validate = true;
     };
 
     explicit SweepContext(Options o)
-        : opts(o), cache(o.cache_entries, o.cache_bytes)
-    {}
+        : opts(std::move(o)),
+          cache(opts.cache_entries, opts.cache_bytes,
+                opts.spill_bytes)
+    {
+        if (!opts.plan_store_dir.empty()) {
+            store = std::make_unique<PlanStore>(
+                opts.plan_store_dir);
+            cache.attachStore(store.get());
+        }
+    }
 
     // Defined after the class: Options' member initializers are
     // not usable as a default argument inside it.
@@ -109,6 +124,8 @@ class SweepContext
 
     const Options &options() const { return opts; }
     PlanCache &planCache() { return cache; }
+    /** Attached persistent store; null when none was configured. */
+    PlanStore *planStore() { return store.get(); }
 
     /** GEMM-level RunOptions matching this context's knobs. */
     RunOptions
@@ -235,6 +252,7 @@ class SweepContext
     };
 
     Options opts;
+    std::unique_ptr<PlanStore> store;
     PlanCache cache;
     std::unique_ptr<ThreadPool> own_pool;
     std::vector<std::pair<ArrayConfig, std::unique_ptr<ArrayModel>>>
@@ -260,7 +278,8 @@ benchFlagList()
     return "--engine scalar|fast, --threads N, --json PATH, "
            "--no-plan-cache, --smoke, "
            "--model lenet5|alexnet|vgg16|mobilenetv1|resnet50, "
-           "--arch s2ta-w|s2ta-aw, --reps N, --cache-mb N";
+           "--arch s2ta-w|s2ta-aw, --reps N, --cache-mb N, "
+           "--plan-store DIR, --spill-mb N";
 }
 
 /** Options common to every bench binary. */
@@ -281,6 +300,14 @@ struct BenchArgs
      *  default budget). Serving benches bound their shared cache
      *  with it; sweep benches feed it into ctx.cache_bytes. */
     int cache_mb = 0;
+    /** Persistent plan-store directory (empty = no store). A
+     *  second invocation pointed at the same directory warm-starts
+     *  by hydrating mmap'd encodings instead of re-encoding. */
+    std::string plan_store;
+    /** Spill-tier budget in MB for evicted plans in compact form
+     *  (0 = tier off): bounded caches degrade to rehydration
+     *  instead of LRU-thrashing to full re-encodes. */
+    int spill_mb = 0;
     // Whether the knob was given explicitly: benches whose
     // experiment pins a knob (e.g. the engine-comparison bench
     // runs both engines by definition) must reject an explicit
@@ -290,6 +317,8 @@ struct BenchArgs
     bool plan_cache_given = false;
     bool reps_given = false;
     bool cache_mb_given = false;
+    bool plan_store_given = false;
+    bool spill_mb_given = false;
 
     /**
      * Fatal unless flag @p name was left at its default. The error
@@ -371,6 +400,19 @@ parseBenchArgs(int argc, char **argv)
             a.ctx.cache_bytes =
                 static_cast<int64_t>(a.cache_mb) << 20;
             a.cache_mb_given = true;
+        } else if (arg == "--plan-store") {
+            a.plan_store = value();
+            if (a.plan_store.empty())
+                s2ta_fatal("--plan-store needs a directory");
+            a.ctx.plan_store_dir = a.plan_store;
+            a.plan_store_given = true;
+        } else if (arg == "--spill-mb") {
+            a.spill_mb = std::atoi(value().c_str());
+            if (a.spill_mb < 1)
+                s2ta_fatal("--spill-mb must be >= 1");
+            a.ctx.spill_bytes =
+                static_cast<int64_t>(a.spill_mb) << 20;
+            a.spill_mb_given = true;
         } else {
             s2ta_fatal("unknown argument '%s' (accepted flags: %s)",
                        arg.c_str(), benchFlagList());
@@ -378,6 +420,35 @@ parseBenchArgs(int argc, char **argv)
     }
     return a;
 }
+
+/**
+ * The budgeted PlanCache + optional persistent PlanStore a
+ * serving-style bench builds straight from its flags — the
+ * non-SweepContext twin of that class's wiring, so the four gated
+ * benches cannot drift apart in how they stand the tiers up.
+ * @p default_cache_mb applies when --cache-mb was not given
+ * (0 = unbounded).
+ */
+struct BenchCache
+{
+    BenchCache(const BenchArgs &args, int default_cache_mb)
+        : store(args.plan_store.empty()
+                    ? nullptr
+                    : std::make_unique<PlanStore>(args.plan_store)),
+          cache(0,
+                static_cast<int64_t>(args.cache_mb > 0
+                                         ? args.cache_mb
+                                         : default_cache_mb)
+                    << 20,
+                static_cast<int64_t>(args.spill_mb) << 20)
+    {
+        if (store)
+            cache.attachStore(store.get());
+    }
+
+    std::unique_ptr<PlanStore> store;
+    PlanCache cache;
+};
 
 /** Monotonic wall-clock seconds for bench timing. */
 inline double

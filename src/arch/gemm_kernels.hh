@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Internal declarations for the runtime-dispatched mask-intersection
+ * row-dot kernels.
+ *
+ * Each SIMD tier lives in its own translation unit compiled with
+ * exactly the ISA it needs (see S2TA_ENABLE_X86_64_V2 in
+ * CMakeLists.txt); this header carries only declarations so
+ * including it never instantiates code under a raised ISA. Callers
+ * go through dbbActiveKernel() in gemm_plan.hh — these symbols are
+ * exposed for the dispatcher and for the kernel-equivalence property
+ * tests, which compare every compiled-in tier against the scalar
+ * rank-gather loop on the same block rows. When a tier is compiled
+ * out (option off, or a non-x86 target) its entry point is a scalar
+ * alias and its probe reports unsupported, so the symbols always
+ * link.
+ */
+
+#ifndef S2TA_ARCH_GEMM_KERNELS_HH
+#define S2TA_ARCH_GEMM_KERNELS_HH
+
+#include <cstdint>
+
+namespace s2ta {
+
+struct DbbBlock;
+
+/** SSSE3 pshufb-expansion row dot (gemm_kernels_v2.cc). */
+int32_t dbbDotRowSimdV2(const DbbBlock *a, const DbbBlock *w,
+                        int nblocks);
+
+/** True when the SSSE3 tier is compiled in and this CPU has it. */
+bool dbbSimdKernelSupportedImpl();
+
+/**
+ * AVX2 tier (gemm_kernels_avx2.cc): four blocks per operand expand
+ * into one 256-bit register per iteration — twice the SSSE3 batch
+ * per shuffle.
+ */
+int32_t dbbDotRowAvx2(const DbbBlock *a, const DbbBlock *w,
+                      int nblocks);
+
+/** True when the AVX2 tier is compiled in and this CPU has it. */
+bool dbbAvx2KernelSupportedImpl();
+
+} // namespace s2ta
+
+#endif // S2TA_ARCH_GEMM_KERNELS_HH

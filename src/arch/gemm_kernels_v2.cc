@@ -24,6 +24,7 @@
  * CPUs or when the option is off.
  */
 
+#include "arch/gemm_kernels.hh"
 #include "core/dbb.hh"
 
 #if defined(S2TA_X86_64_V2) && defined(__SSSE3__)

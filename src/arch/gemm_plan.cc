@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "arch/gemm_kernels.hh"
 #include "base/thread_pool.hh"
 
 #ifdef __SSE2__
@@ -9,12 +10,6 @@
 #endif
 
 namespace s2ta {
-
-// Defined in gemm_kernels_v2.cc (compiled with SSSE3 codegen when
-// S2TA_ENABLE_X86_64_V2 is on; a scalar alias otherwise).
-int32_t dbbDotRowSimdV2(const DbbBlock *a, const DbbBlock *w,
-                        int nblocks);
-bool dbbSimdKernelSupportedImpl();
 
 namespace {
 
@@ -166,10 +161,13 @@ dbbActiveKernel()
 {
     if (force_scalar_kernel.load(std::memory_order_relaxed))
         return DbbKernelKind::Scalar;
-    // cpuid result cannot change at runtime; memoize the probe.
-    static const bool available = dbbSimdKernelAvailable();
-    return available ? DbbKernelKind::SimdV2
-                     : DbbKernelKind::Scalar;
+    // cpuid results cannot change at runtime; memoize the probes.
+    // Widest tier first: AVX2 batches twice the blocks per shuffle.
+    static const DbbKernelKind kind =
+        dbbAvx2KernelSupportedImpl() ? DbbKernelKind::Avx2
+        : dbbSimdKernelAvailable()   ? DbbKernelKind::SimdV2
+                                     : DbbKernelKind::Scalar;
+    return kind;
 }
 
 void
@@ -196,9 +194,11 @@ dbbGemm(const GemmPlan &plan, int32_t *out, ThreadPool *shard_pool)
         return;
     }
 #endif
-    const RowDotFn dot =
-        dbbActiveKernel() == DbbKernelKind::SimdV2 ? dbbDotRowSimdV2
-                                                   : dbbDotRow;
+    const DbbKernelKind kind = dbbActiveKernel();
+    const RowDotFn dot = kind == DbbKernelKind::Avx2 ? dbbDotRowAvx2
+                         : kind == DbbKernelKind::SimdV2
+                             ? dbbDotRowSimdV2
+                             : dbbDotRow;
     forRowStripes(p.m, shard_pool, [&](int row_begin, int row_end) {
         intersectGemmRows(plan.act(), plan.wgt(), p.n, row_begin,
                           row_end, dot, out);
@@ -209,14 +209,22 @@ GemmPlan
 GemmPlan::build(const GemmProblem &p, int bz, bool dense_mirror)
 {
     s2ta_assert(bz >= 1 && bz <= 8, "block size %d", bz);
-    GemmPlan plan(p);
-    plan.blk_bz = bz;
     // Encode with the permissive bz/bz spec: a plan caches content,
     // not a density contract; bounds are checked against the masks
     // by checkWeights / checkActivations.
     const DbbSpec all{bz, bz};
-    plan.act_blocks = DbbMatrix::fromActivations(p, all);
-    plan.wgt_blocks = DbbMatrix::fromWeights(p, all);
+    return assemble(p, bz, DbbMatrix::fromActivations(p, all),
+                    DbbMatrix::fromWeights(p, all), dense_mirror);
+}
+
+GemmPlan
+GemmPlan::assemble(const GemmProblem &p, int bz, DbbMatrix act,
+                   DbbMatrix wgt, bool dense_mirror)
+{
+    GemmPlan plan(p);
+    plan.blk_bz = bz;
+    plan.act_blocks = std::move(act);
+    plan.wgt_blocks = std::move(wgt);
     plan.prof = OperandProfile::fromDbb(p, plan.act_blocks,
                                         plan.wgt_blocks);
 
@@ -250,6 +258,35 @@ GemmPlan::build(const GemmProblem &p, int bz, bool dense_mirror)
 
     plan.is_encoded = true;
     return plan;
+}
+
+GemmPlan
+GemmPlan::restore(const GemmProblem &p, Parts parts)
+{
+    s2ta_assert(parts.bz >= 1 && parts.bz <= 8, "block size %d",
+                parts.bz);
+    s2ta_assert(parts.act.vectors() == p.m &&
+                    parts.wgt.vectors() == p.n,
+                "restored encodings (%d act, %d wgt vectors) do not "
+                "match %dx%dx%d", parts.act.vectors(),
+                parts.wgt.vectors(), p.m, p.k, p.n);
+    GemmPlan plan(p);
+    plan.blk_bz = parts.bz;
+    plan.act_blocks = std::move(parts.act);
+    plan.wgt_blocks = std::move(parts.wgt);
+    plan.wgt_t = std::move(parts.wgt_t);
+    plan.prof = std::move(parts.prof);
+    plan.is_encoded = true;
+    return plan;
+}
+
+GemmPlan
+GemmPlan::rebuild(const GemmProblem &p, int bz, DbbMatrix act,
+                  DbbMatrix wgt, bool dense_mirror)
+{
+    s2ta_assert(bz >= 1 && bz <= 8, "block size %d", bz);
+    return assemble(p, bz, std::move(act), std::move(wgt),
+                    dense_mirror);
 }
 
 GemmPlan

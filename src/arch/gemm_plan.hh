@@ -38,8 +38,11 @@ class ThreadPool;
  * SSSE3 (x86-64-v2) variant expands both compressed blocks to dense
  * lanes with one pshufb each (the shuffle control is the positional
  * mask's expansion permutation, looked up in a 256-entry table) and
- * contracts them with the same madd tree as the dense kernel; it is
- * bit-identical to the scalar rank-gather loop.
+ * contracts them with the same madd tree as the dense kernel; the
+ * AVX2 tier widens the same scheme to four blocks per operand per
+ * 256-bit shuffle. Every tier is bit-identical to the scalar
+ * rank-gather loop (skipped positions contribute exact zeros and
+ * INT32 wraparound addition is order-independent).
  */
 enum class DbbKernelKind
 {
@@ -47,12 +50,15 @@ enum class DbbKernelKind
     Scalar,
     /** pshufb mask-expansion + madd contraction (SSSE3). */
     SimdV2,
+    /** 256-bit vpshufb expansion, four blocks per shuffle (AVX2). */
+    Avx2,
 };
 
 /**
  * True when the SSSE3 kernel was compiled in (S2TA_ENABLE_X86_64_V2)
  * and this CPU supports it; the dispatcher falls back to the scalar
- * kernel otherwise.
+ * kernel otherwise. The AVX2 tier (same build option) is probed
+ * separately and preferred when present.
  */
 bool dbbSimdKernelAvailable();
 
@@ -114,6 +120,39 @@ class GemmPlan
      * runs straight off the dense operands.
      */
     static GemmPlan shallow(const GemmProblem &p);
+
+    /** Deserialized pieces of an encoded plan (store hydration). */
+    struct Parts
+    {
+        int bz = 8;
+        DbbMatrix act;
+        DbbMatrix wgt;
+        /** Dense transposed mirror; empty = none materialized. */
+        std::vector<int8_t> wgt_t;
+        OperandProfile prof;
+    };
+
+    /**
+     * Reassemble a plan from fully serialized parts (the persistent
+     * plan store's hydration path): every member — encodings,
+     * mirror, profile — is adopted verbatim, nothing is recomputed.
+     * The caller (PlanStore) is responsible for @p parts having
+     * come from a build() of operands identical to @p p; the store's
+     * checksum + fingerprint validation establishes exactly that.
+     */
+    static GemmPlan restore(const GemmProblem &p, Parts parts);
+
+    /**
+     * Reassemble a plan from its encodings alone (the spill tier's
+     * rehydration path, which persists only the compressed blocks).
+     * The profile is re-derived from the masks and the dense mirror
+     * re-materialized under the same density heuristic as build(),
+     * so the result is indistinguishable from a fresh build of the
+     * same operands. @p dense_mirror is the original build request.
+     */
+    static GemmPlan rebuild(const GemmProblem &p, int bz,
+                            DbbMatrix act, DbbMatrix wgt,
+                            bool dense_mirror);
 
     const GemmProblem &problem() const { return *prob; }
     int bz() const { return blk_bz; }
@@ -211,6 +250,16 @@ class GemmPlan
 
   private:
     explicit GemmPlan(const GemmProblem &p) : prob(&p) {}
+
+    /**
+     * Shared tail of build()/rebuild(): adopt the encodings, derive
+     * the profile from the masks, and materialize the dense mirror
+     * under the density heuristic. One implementation so a
+     * rehydrated plan can never drift from a fresh build.
+     */
+    static GemmPlan assemble(const GemmProblem &p, int bz,
+                             DbbMatrix act, DbbMatrix wgt,
+                             bool dense_mirror);
 
     /** Pack a spec into a non-zero memo word (nnz >= 1 always). */
     static uint16_t

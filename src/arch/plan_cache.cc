@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "arch/plan_store.hh"
+
 namespace s2ta {
 
 uint64_t
@@ -53,22 +55,77 @@ PlanCache::entryBytes(const CachedPlan &e)
     return bytes;
 }
 
-std::shared_ptr<const CachedPlan>
+void
+PlanCache::attachStore(PlanStore *s)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    store = s;
+}
+
+PlanCache::Lookup
 PlanCache::lookupLocked(uint64_t key)
 {
+    Lookup l;
     const auto it = slots.find(key);
-    if (it == slots.end()) {
-        ++counters.misses;
-        return nullptr;
+    if (it != slots.end()) {
+        ++counters.hits;
+        lru.splice(lru.begin(), lru, it->second.lru_it);
+        l.entry = it->second.entry;
+        return l;
     }
-    ++counters.hits;
-    lru.splice(lru.begin(), lru, it->second.lru_it);
-    return it->second.entry;
+    const auto sit = spill_slots.find(key);
+    if (sit != spill_slots.end()) {
+        // Hand out a reference to the compact image; the caller
+        // rehydrates outside the lock and re-inserts the entry
+        // into the resident tier. The image stays parked here so
+        // the entry's next eviction is an LRU touch, not a
+        // re-encode.
+        ++counters.spill_hits;
+        spill_lru.splice(spill_lru.begin(), spill_lru,
+                         sit->second.lru_it);
+        l.spilled = sit->second.bytes;
+    }
+    return l;
+}
+
+void
+PlanCache::parkLocked(
+    uint64_t key, std::shared_ptr<const std::vector<uint8_t>> bytes)
+{
+    // A parked image can already exist (this entry's own earlier
+    // rehydration, or a racing lane's encode); touch it and drop
+    // the duplicate (contents are deterministic).
+    const auto old = spill_slots.find(key);
+    if (old != spill_slots.end()) {
+        spill_lru.splice(spill_lru.begin(), spill_lru,
+                         old->second.lru_it);
+        return;
+    }
+    counters.spill_bytes += static_cast<int64_t>(bytes->size());
+    ++counters.spill_entries;
+    spill_lru.push_front(key);
+    spill_slots.emplace(
+        key, SpillSlot{std::move(bytes), spill_lru.begin()});
+    // Hold the spill byte budget, but never drop the entry just
+    // spilled (mirroring the resident tier: one over-budget
+    // workload must still round-trip).
+    while (counters.spill_bytes > spill_max_bytes &&
+           spill_slots.size() > 1) {
+        const uint64_t victim = spill_lru.back();
+        spill_lru.pop_back();
+        const auto vit = spill_slots.find(victim);
+        counters.spill_bytes -=
+            static_cast<int64_t>(vit->second.bytes->size());
+        --counters.spill_entries;
+        spill_slots.erase(vit);
+        ++counters.spill_evictions;
+    }
 }
 
 void
 PlanCache::insertLocked(uint64_t key,
-                        std::shared_ptr<const CachedPlan> entry)
+                        std::shared_ptr<const CachedPlan> entry,
+                        std::vector<PendingSpill> *pending)
 {
     const auto it = slots.find(key);
     if (it != slots.end()) {
@@ -92,8 +149,85 @@ PlanCache::insertLocked(uint64_t key,
         const auto vit = slots.find(victim);
         counters.resident_bytes -= entryBytes(*vit->second.entry);
         --counters.entries;
+        if (spill_max_bytes > 0) {
+            // Move the victim toward the spill tier. With an image
+            // already parked (the rehydrate-use-re-evict cycle),
+            // re-eviction is an LRU touch; otherwise the encode is
+            // deferred to after the lock is released — an O(plan)
+            // pass must not serialize concurrent lanes.
+            const auto parked = spill_slots.find(victim);
+            if (parked != spill_slots.end()) {
+                spill_lru.splice(spill_lru.begin(), spill_lru,
+                                 parked->second.lru_it);
+            } else {
+                pending->push_back(
+                    PendingSpill{victim, vit->second.entry});
+            }
+        }
         slots.erase(vit);
         ++counters.evictions;
+    }
+}
+
+void
+PlanCache::insertAndSpill(uint64_t key,
+                          std::shared_ptr<const CachedPlan> entry)
+{
+    std::vector<PendingSpill> pending;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        insertLocked(key, std::move(entry), &pending);
+    }
+    for (PendingSpill &ps : pending) {
+        auto bytes = std::make_shared<const std::vector<uint8_t>>(
+            spillEncode(*ps.entry));
+        std::lock_guard<std::mutex> lk(mu);
+        parkLocked(ps.key, std::move(bytes));
+    }
+}
+
+std::shared_ptr<const CachedPlan>
+PlanCache::loadFromStore(uint64_t key)
+{
+    PlanStore *s;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        s = store;
+    }
+    if (s == nullptr)
+        return nullptr;
+    // File I/O and hydration run outside the cache lock.
+    PlanStore::LoadResult r = s->load(key);
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (r.entry) {
+            ++counters.store_hits;
+        } else if (r.rejected) {
+            // Corrupt / truncated / stale-version file: treated as
+            // a miss; the rebuild below overwrites it.
+            ++counters.store_rejects;
+        } else {
+            ++counters.store_misses;
+        }
+    }
+    if (r.entry)
+        insertAndSpill(key, r.entry);
+    return r.entry;
+}
+
+void
+PlanCache::saveToStore(uint64_t key, const CachedPlan &entry)
+{
+    PlanStore *s;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        s = store;
+    }
+    if (s == nullptr)
+        return;
+    if (s->save(key, entry)) {
+        std::lock_guard<std::mutex> lk(mu);
+        ++counters.store_saves;
     }
 }
 
@@ -122,17 +256,34 @@ PlanCache::acquireKeyed(uint64_t key, int bz, bool dense_mirror,
 {
     key = combine(key, static_cast<uint64_t>(bz) |
                            (dense_mirror ? 0x100u : 0u));
+    Lookup l;
     {
         std::lock_guard<std::mutex> lk(mu);
-        if (auto hit = lookupLocked(key))
-            return hit;
+        l = lookupLocked(key);
+    }
+    if (l.entry)
+        return l.entry;
+    if (l.spilled) {
+        // Rehydrate outside the lock (decode + operand
+        // reconstruction + profile/mirror re-derivation) and
+        // promote back into the resident tier.
+        auto entry =
+            spillDecode(l.spilled->data(), l.spilled->size());
+        insertAndSpill(key, entry);
+        return entry;
+    }
+    if (auto entry = loadFromStore(key))
+        return entry;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        ++counters.misses;
     }
     // Lower and encode outside the lock: plan construction is the
     // expensive part and must not serialize concurrent sweep lanes.
     auto entry =
         std::make_shared<const CachedPlan>(lower(), bz, dense_mirror);
-    std::lock_guard<std::mutex> lk(mu);
-    insertLocked(key, entry);
+    insertAndSpill(key, entry);
+    saveToStore(key, *entry);
     return entry;
 }
 
@@ -148,24 +299,49 @@ PlanCache::acquireLayer(
                  (dense_mirror ? 0x100u : 0u));
     std::vector<std::shared_ptr<const CachedPlan>> out(
         static_cast<size_t>(groups));
+    std::vector<uint64_t> keys(static_cast<size_t>(groups));
+    for (int g = 0; g < groups; ++g)
+        keys[static_cast<size_t>(g)] =
+            combine(base, static_cast<uint64_t>(g));
 
-    int absent = 0;
+    std::vector<Lookup> looks(static_cast<size_t>(groups));
+    bool has_store;
     {
         std::lock_guard<std::mutex> lk(mu);
-        for (int g = 0; g < groups; ++g) {
-            out[static_cast<size_t>(g)] = lookupLocked(
-                combine(base, static_cast<uint64_t>(g)));
-            if (!out[static_cast<size_t>(g)])
+        has_store = store != nullptr;
+        for (int g = 0; g < groups; ++g)
+            looks[static_cast<size_t>(g)] =
+                lookupLocked(keys[static_cast<size_t>(g)]);
+    }
+    int absent = 0;
+    for (int g = 0; g < groups; ++g) {
+        auto &l = looks[static_cast<size_t>(g)];
+        auto &slot = out[static_cast<size_t>(g)];
+        if (l.entry) {
+            slot = std::move(l.entry);
+        } else if (l.spilled) {
+            slot =
+                spillDecode(l.spilled->data(), l.spilled->size());
+            insertAndSpill(keys[static_cast<size_t>(g)], slot);
+        } else {
+            if (has_store)
+                slot = loadFromStore(keys[static_cast<size_t>(g)]);
+            if (!slot)
                 ++absent;
         }
     }
     if (absent == 0)
         return out;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        counters.misses += absent;
+    }
 
     // Whole-layer miss: lower every group in one batched pass (the
     // activation tensor is walked once for all groups). Partial
-    // miss (a few groups evicted mid-sweep): re-lower only the
-    // absent ones instead of redoing the whole layer.
+    // miss (a few groups evicted mid-sweep or individually
+    // corrupted on disk): re-lower only the absent ones instead of
+    // redoing the whole layer.
     std::vector<GemmProblem> problems;
     if (absent == groups) {
         problems = lower_all();
@@ -182,8 +358,8 @@ PlanCache::acquireLayer(
                 ? lower_one(g)
                 : std::move(problems[static_cast<size_t>(g)]),
             bz, dense_mirror);
-        std::lock_guard<std::mutex> lk(mu);
-        insertLocked(combine(base, static_cast<uint64_t>(g)), slot);
+        insertAndSpill(keys[static_cast<size_t>(g)], slot);
+        saveToStore(keys[static_cast<size_t>(g)], *slot);
     }
     return out;
 }
@@ -220,9 +396,13 @@ PlanCache::clear()
     std::lock_guard<std::mutex> lk(mu);
     slots.clear();
     lru.clear();
+    spill_slots.clear();
+    spill_lru.clear();
     dap_memo.clear();
     counters.entries = 0;
     counters.resident_bytes = 0;
+    counters.spill_entries = 0;
+    counters.spill_bytes = 0;
 }
 
 } // namespace s2ta

@@ -39,6 +39,36 @@
  * sequence; concurrent lanes may reorder recency updates, which can
  * change *which* entry is evicted but never the results computed
  * from whatever is resident. DAP memo entries live outside the LRU.
+ *
+ * Two further tiers sit under the resident LRU, both optional and
+ * both returning plans bit-identical to a fresh build:
+ *
+ *  - **Spill tier** (spill_max_bytes > 0): entries evicted from the
+ *    resident LRU are kept in the compact spill form (dims + block
+ *    arrays, varint/RLE-coded; see arch/plan_store.hh) under their
+ *    own byte budget with their own LRU. A lookup that misses the
+ *    resident tier but hits the spill tier rehydrates — decode +
+ *    operand reconstruction + profile/mirror re-derivation — which
+ *    costs a fraction of the full im2col-lower + encode miss, so a
+ *    bounded cache under a cyclic trace degrades smoothly instead
+ *    of falling off the LRU-thrash cliff. Rehydrated entries
+ *    re-enter the resident tier (possibly spilling another entry),
+ *    and their compact image stays *parked* in the spill tier, so
+ *    the cyclic steady state — rehydrate, use, re-evict — pays one
+ *    decode per cycle and zero re-encodes. Both spill encoding (an
+ *    entry's first eviction) and rehydration run outside the lock;
+ *    only the list/map surgery is serialized.
+ *  - **Persistent store** (attachStore): a miss in both in-RAM
+ *    tiers consults the cross-process PlanStore before lowering,
+ *    and a full miss saves its freshly built plan back. Warm
+ *    process starts hydrate plans from the mmap'd images instead of
+ *    re-encoding; corrupt or version-mismatched files are rejected,
+ *    rebuilt, and silently replaced. The store is not owned and
+ *    must outlive the cache.
+ *
+ * stats() reports each tier separately (resident hits vs spill
+ * rehydrations vs store hydrations vs full misses) so bench
+ * artifacts can attribute wins to the right tier.
  */
 
 #ifndef S2TA_ARCH_PLAN_CACHE_HH
@@ -57,12 +87,28 @@
 
 namespace s2ta {
 
+class PlanStore;
+
 /** One cached workload: the owned operands plus their encoded plan. */
 struct CachedPlan
 {
     CachedPlan(GemmProblem p, int bz, bool dense_mirror)
         : problem(std::move(p)),
           plan(GemmPlan::build(problem, bz, dense_mirror))
+    {}
+
+    /**
+     * Hydration constructor: adopt @p p and build the plan with
+     * @p build_plan, which receives the *owned* problem (plans
+     * borrow the problem they were built from, so it must be this
+     * entry's member, not the caller's temporary). Used by the
+     * store and spill decoders, whose plans come from
+     * GemmPlan::restore / GemmPlan::rebuild rather than a fresh
+     * encode.
+     */
+    template <typename BuildFn>
+    CachedPlan(GemmProblem p, BuildFn &&build_plan)
+        : problem(std::move(p)), plan(build_plan(problem))
     {}
 
     const GemmProblem problem;
@@ -72,18 +118,41 @@ struct CachedPlan
 class PlanCache
 {
   public:
-    /** Cache effectiveness counters. */
+    /** Cache effectiveness counters, one set per tier. */
     struct Stats
     {
         /** Plan-entry lookups that found a resident encoding. */
         int64_t hits = 0;
-        /** Plan-entry lookups that had to lower + encode. */
+        /** Plan-entry lookups that had to lower + encode (missed
+         *  every tier). */
         int64_t misses = 0;
+        /** Entries evicted out of the resident tier (into the
+         *  spill tier when one is configured, dropped otherwise). */
         int64_t evictions = 0;
         /** Plan entries currently resident. */
         int64_t entries = 0;
         /** Operand + mirror bytes held by resident entries. */
         int64_t resident_bytes = 0;
+        /** Lookups served by rehydrating a spilled entry — counted
+         *  apart from resident hits so artifacts distinguish RAM
+         *  hits from (costlier) rehydrations. */
+        int64_t spill_hits = 0;
+        /** Entries currently held in spill form, including images
+         *  parked for resident entries that were once rehydrated
+         *  (kept so re-evicting them is free). */
+        int64_t spill_entries = 0;
+        /** Compact serialized bytes held by the spill tier. */
+        int64_t spill_bytes = 0;
+        /** Spilled entries dropped to hold the spill byte budget. */
+        int64_t spill_evictions = 0;
+        /** Plans hydrated from the persistent store. */
+        int64_t store_hits = 0;
+        /** Store consulted, no file present. */
+        int64_t store_misses = 0;
+        /** Store files rejected (corrupt/truncated/version/key). */
+        int64_t store_rejects = 0;
+        /** Plans serialized to the persistent store. */
+        int64_t store_saves = 0;
         /** DAP-memo lookups, counted separately so plan hit rates
          *  in bench artifacts stay meaningful. */
         int64_t dap_hits = 0;
@@ -97,10 +166,15 @@ class PlanCache
      * @param max_bytes LRU resident-byte budget (operands +
      *        encodings + mirrors); 0 means unbounded. Entries are
      *        evicted least-recently-used until both caps hold.
+     * @param spill_max_bytes Spill-tier byte budget for evicted
+     *        entries in compact form; 0 disables the tier (evicted
+     *        entries are dropped, the pre-spill behavior).
      */
     explicit PlanCache(size_t max_entries = 0,
-                       int64_t max_bytes = 0)
-        : max_entries(max_entries), max_bytes(max_bytes)
+                       int64_t max_bytes = 0,
+                       int64_t spill_max_bytes = 0)
+        : max_entries(max_entries), max_bytes(max_bytes),
+          spill_max_bytes(spill_max_bytes)
     {}
 
     PlanCache(const PlanCache &) = delete;
@@ -155,9 +229,17 @@ class PlanCache
     DapStats dapStats(uint64_t key,
                       const std::function<DapStats()> &compute);
 
+    /**
+     * Attach (or detach with nullptr) a persistent cross-process
+     * store, consulted after both in-RAM tiers and written back on
+     * full misses. Not owned; must outlive this cache.
+     */
+    void attachStore(PlanStore *s);
+
     Stats stats() const;
 
-    /** Drop every entry (counters keep accumulating). */
+    /** Drop every entry, resident and spilled (counters keep
+     *  accumulating). */
     void clear();
 
     /** FNV-1a 64-bit content hash (8-byte strides + byte tail). */
@@ -186,9 +268,45 @@ class PlanCache
     /** Bytes an entry pins in memory (operands + dense mirror). */
     static int64_t entryBytes(const CachedPlan &e);
 
-    std::shared_ptr<const CachedPlan> lookupLocked(uint64_t key);
+    /**
+     * Tiered lookup outcome: a resident entry, a reference to the
+     * spilled image (rehydration happens outside the lock; the
+     * image stays parked in the spill tier so a later re-eviction
+     * of the rehydrated entry is an LRU touch, not a re-encode),
+     * or neither.
+     */
+    struct Lookup
+    {
+        std::shared_ptr<const CachedPlan> entry;
+        std::shared_ptr<const std::vector<uint8_t>> spilled;
+    };
+
+    /** An entry evicted with no parked image yet: its spill encode
+     *  happens after the lock is released. */
+    struct PendingSpill
+    {
+        uint64_t key;
+        std::shared_ptr<const CachedPlan> entry;
+    };
+
+    Lookup lookupLocked(uint64_t key);
     void insertLocked(uint64_t key,
-                      std::shared_ptr<const CachedPlan> entry);
+                      std::shared_ptr<const CachedPlan> entry,
+                      std::vector<PendingSpill> *pending);
+    /** Lock, insert (evicting per the budgets), then spill-encode
+     *  any evicted entries *outside* the lock and park the images —
+     *  the one insert entry point every acquire path uses. */
+    void insertAndSpill(uint64_t key,
+                        std::shared_ptr<const CachedPlan> entry);
+    /** Park a compact image for @p key (touch if already parked)
+     *  and hold the spill byte budget. */
+    void
+    parkLocked(uint64_t key,
+               std::shared_ptr<const std::vector<uint8_t>> bytes);
+    /** Consult the attached store; inserts + counts on success. */
+    std::shared_ptr<const CachedPlan> loadFromStore(uint64_t key);
+    /** Persist a freshly built entry (best-effort, counted). */
+    void saveToStore(uint64_t key, const CachedPlan &entry);
 
     struct Slot
     {
@@ -197,11 +315,24 @@ class PlanCache
         std::list<uint64_t>::iterator lru_it;
     };
 
+    struct SpillSlot
+    {
+        /** Shared so a rehydrating lane can decode outside the
+         *  lock while the image stays parked in the tier. */
+        std::shared_ptr<const std::vector<uint8_t>> bytes;
+        /** Position in spill_lru (most recent at front). */
+        std::list<uint64_t>::iterator lru_it;
+    };
+
     const size_t max_entries;
     const int64_t max_bytes;
+    const int64_t spill_max_bytes;
+    PlanStore *store = nullptr;
     mutable std::mutex mu;
     std::unordered_map<uint64_t, Slot> slots;
     std::list<uint64_t> lru;
+    std::unordered_map<uint64_t, SpillSlot> spill_slots;
+    std::list<uint64_t> spill_lru;
     std::unordered_map<uint64_t, DapStats> dap_memo;
     Stats counters;
 };

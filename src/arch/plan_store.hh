@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Persistent, cross-process plan store plus the compact spill codec
+ * — the two serialized forms of a GemmPlan.
+ *
+ * The DBB compressed form is weight-static and config-independent:
+ * the encoding of a workload depends only on operand content and
+ * the block size, never on the array geometry, SMT depth, or
+ * sparsity bound under evaluation. A plan encoded once is therefore
+ * valid for every future process that sees the same operands, and
+ * re-encoding on every invocation (108 cold encodes per sweep, one
+ * per distinct workload per serving restart) is pure waste. Two
+ * serialized forms exploit this, at opposite points of the
+ * size/speed trade:
+ *
+ *  - **Store form** (PlanStore, one file per plan): the full plan —
+ *    operands, both DBB block arrays, the dense transposed weight
+ *    mirror when materialized, and the OperandProfile — laid out so
+ *    every section hydrates with a single memcpy from the mapped
+ *    image (base/mapped_file.hh). Nothing is re-derived on load; a
+ *    warm start is bounded by memory bandwidth, not encode compute.
+ *  - **Spill form** (spillEncode/spillDecode, in-RAM): the minimum
+ *    from which a bit-identical plan can be rebuilt — dims plus the
+ *    two block arrays, mask byte + stored values per block, zero
+ *    runs run-length coded with varints; operands, mirror, and
+ *    profile are all dropped and re-derived on rehydration (the
+ *    encodings are lossless, so the operands come back exactly).
+ *    This is what PlanCache's spill tier holds evicted entries in.
+ *
+ * Store files are versioned and checksummed; load() rejects — never
+ * trusts — anything that fails validation: short or truncated
+ * files, wrong magic, version mismatch after a format bump, key
+ * mismatch (a file renamed or hash-colliding), implausible dims,
+ * size/dims disagreement, or payload checksum mismatch (bit rot,
+ * torn concurrent write on a non-POSIX filesystem). A rejected or
+ * absent file is an ordinary cache miss: the caller re-encodes and
+ * save() silently replaces the bad file via an atomic temp+rename,
+ * so corruption degrades to a cold start, never to wrong results
+ * and never to a fatal error. Readers of one store directory are
+ * fully concurrent (files are immutable once published; rename
+ * guarantees a reader maps old-or-new, never a mix) and writers
+ * race benignly (both produce identical bytes for one key).
+ *
+ * Checksums use a 4-lane interleaved FNV-1a (planStoreChecksum):
+ * the single-stream fold of PlanCache::hashBytes is latency-bound
+ * on its 64-bit multiply chain, which would make validation as
+ * expensive as the memcpy it guards; four independent streams run
+ * at memcpy-like speed and are combined order-dependently at the
+ * end. Like hashBytes, it is deterministic across platforms of the
+ * same endianness — a store directory is a same-arch artifact, not
+ * an interchange format.
+ */
+
+#ifndef S2TA_ARCH_PLAN_STORE_HH
+#define S2TA_ARCH_PLAN_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/plan_cache.hh"
+
+namespace s2ta {
+
+/** Bump on any layout change; old files are rejected and rebuilt. */
+constexpr uint32_t kPlanStoreVersion = 1;
+
+/** 4-lane interleaved FNV-1a over @p len bytes (see file comment). */
+uint64_t planStoreChecksum(const void *data, size_t len);
+
+class PlanStore
+{
+  public:
+    /**
+     * Open (creating if needed) the store directory. Fatal when the
+     * directory cannot be created — a store the user asked for on
+     * the command line that can never persist anything is a
+     * misconfiguration, not a cache miss.
+     */
+    explicit PlanStore(std::string dir);
+
+    PlanStore(const PlanStore &) = delete;
+    PlanStore &operator=(const PlanStore &) = delete;
+
+    struct LoadResult
+    {
+        /** Hydrated plan; null on miss or rejection. */
+        std::shared_ptr<const CachedPlan> entry;
+        /** True when a file existed but failed validation. */
+        bool rejected = false;
+    };
+
+    /**
+     * Hydrate the plan stored under @p key. Absent file = plain
+     * miss; present-but-invalid = rejection (both return a null
+     * entry and are never fatal). Concurrent callers are safe.
+     */
+    LoadResult load(uint64_t key) const;
+
+    /**
+     * Serialize @p entry under @p key (atomic replace). Returns
+     * false on I/O failure — the plan simply stays unpersisted.
+     */
+    bool save(uint64_t key, const CachedPlan &entry) const;
+
+    const std::string &dir() const { return store_dir; }
+
+    /** File a key serializes to: <dir>/plan_<16-hex-key>.s2ta. */
+    std::string pathFor(uint64_t key) const;
+
+    /** Store-form image of @p entry (header + payload). */
+    static std::vector<uint8_t> serialize(uint64_t key,
+                                          const CachedPlan &entry);
+
+    /**
+     * Validate and hydrate a store-form image; null on any
+     * validation failure (see file comment for the reject set).
+     */
+    static std::shared_ptr<const CachedPlan>
+    deserialize(const uint8_t *data, size_t len,
+                uint64_t expected_key);
+
+  private:
+    const std::string store_dir;
+};
+
+/**
+ * Spill-form image of @p entry: dims + varint/RLE-coded block
+ * arrays only (mask byte + stored values per non-empty block, zero
+ * runs length-coded). Typically 3-6x smaller than the entry's
+ * resident footprint.
+ */
+std::vector<uint8_t> spillEncode(const CachedPlan &entry);
+
+/**
+ * Rebuild a full entry from a spill-form image: operands are
+ * reconstructed from the lossless encodings, the profile re-derived
+ * from the masks, and the dense mirror re-materialized under
+ * build()'s heuristic — bit-identical to the entry that was
+ * spilled. Fatal on a malformed image (spill bytes never leave the
+ * process; corruption here is a program bug, not an input).
+ */
+std::shared_ptr<const CachedPlan> spillDecode(const uint8_t *data,
+                                              size_t len);
+
+} // namespace s2ta
+
+#endif // S2TA_ARCH_PLAN_STORE_HH

@@ -1,0 +1,135 @@
+#include "base/mapped_file.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define S2TA_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace s2ta {
+
+MappedFile
+MappedFile::openRead(const std::string &path)
+{
+    MappedFile mf;
+#ifdef S2TA_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return mf;
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return mf;
+    }
+    mf.map_len = static_cast<size_t>(st.st_size);
+    if (mf.map_len == 0) {
+        // A zero-length file maps to nothing but is a readable
+        // (and rejectable) artifact, e.g. a torn store entry.
+        ::close(fd);
+        mf.is_valid = true;
+        return mf;
+    }
+    void *addr =
+        ::mmap(nullptr, mf.map_len, PROT_READ, MAP_PRIVATE, fd, 0);
+    // The mapping outlives the descriptor.
+    ::close(fd);
+    if (addr == MAP_FAILED) {
+        mf.map_len = 0;
+        return mf;
+    }
+    mf.map_addr = addr;
+    mf.is_valid = true;
+    return mf;
+#else
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return mf;
+    std::fseek(f, 0, SEEK_END);
+    const long len = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (len < 0) {
+        std::fclose(f);
+        return mf;
+    }
+    mf.fallback.resize(static_cast<size_t>(len));
+    if (len > 0 &&
+        std::fread(mf.fallback.data(), 1, mf.fallback.size(), f) !=
+            mf.fallback.size()) {
+        std::fclose(f);
+        mf.fallback.clear();
+        return mf;
+    }
+    std::fclose(f);
+    mf.map_len = static_cast<size_t>(len);
+    mf.is_valid = true;
+    return mf;
+#endif
+}
+
+void
+MappedFile::reset()
+{
+#ifdef S2TA_HAVE_MMAP
+    if (map_addr != nullptr)
+        ::munmap(map_addr, map_len);
+#endif
+    map_addr = nullptr;
+    map_len = 0;
+    fallback.clear();
+    is_valid = false;
+}
+
+bool
+writeFileAtomic(const std::string &path, const void *data,
+                size_t len)
+{
+    // Temp file in the same directory so the rename cannot cross a
+    // filesystem boundary; the PID + per-process counter suffix
+    // keeps concurrent writers of the same path — other processes
+    // *and* other threads of this one — from clobbering each
+    // other's temp bytes.
+    static std::atomic<uint64_t> write_seq{0};
+    const uint64_t seq =
+        write_seq.fetch_add(1, std::memory_order_relaxed);
+#ifdef S2TA_HAVE_MMAP
+    const std::string tmp = path + ".tmp." +
+                            std::to_string(::getpid()) + "." +
+                            std::to_string(seq);
+#else
+    const std::string tmp =
+        path + ".tmp." + std::to_string(seq);
+#endif
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    const bool wrote =
+        len == 0 || std::fwrite(data, 1, len, f) == len;
+    const bool flushed = std::fflush(f) == 0;
+    std::fclose(f);
+    if (!wrote || !flushed) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+makeDirs(const std::string &path)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    return !ec && std::filesystem::is_directory(path, ec);
+}
+
+} // namespace s2ta

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Read-only memory-mapped file plus the atomic-write primitives the
+ * persistent plan store is built on.
+ *
+ * MappedFile maps a whole file into the address space (mmap on
+ * POSIX; a buffered read fallback elsewhere), so hydrating a
+ * serialized plan is section memcpys out of the page cache instead
+ * of a parse — repeated bench invocations touch the same pages and
+ * the kernel shares them across concurrent readers for free. The
+ * mapping is immutable (PROT_READ) and private; writers never
+ * mutate a published file in place, they replace it whole via
+ * writeFileAtomic (temp file + rename), which POSIX guarantees is
+ * atomic with respect to concurrent openers: a reader maps either
+ * the old bytes or the new bytes, never a mix. Torn writes from a
+ * crashed process are left as unpublished "*.tmp.<pid>" files,
+ * which PlanStore's constructor sweeps from its directory.
+ */
+
+#ifndef S2TA_BASE_MAPPED_FILE_HH
+#define S2TA_BASE_MAPPED_FILE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s2ta {
+
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile() { reset(); }
+
+    MappedFile(MappedFile &&o) noexcept { *this = std::move(o); }
+
+    MappedFile &
+    operator=(MappedFile &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            map_addr = o.map_addr;
+            map_len = o.map_len;
+            fallback = std::move(o.fallback);
+            is_valid = o.is_valid;
+            o.map_addr = nullptr;
+            o.map_len = 0;
+            o.is_valid = false;
+        }
+        return *this;
+    }
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /**
+     * Map @p path read-only. Returns an invalid MappedFile (no
+     * error raised) when the file does not exist, cannot be opened,
+     * or cannot be mapped — absence and unreadability are ordinary
+     * cache-miss conditions for the plan store, not faults.
+     */
+    static MappedFile openRead(const std::string &path);
+
+    bool valid() const { return is_valid; }
+
+    const uint8_t *
+    data() const
+    {
+        return map_addr != nullptr
+                   ? static_cast<const uint8_t *>(map_addr)
+                   : fallback.data();
+    }
+
+    size_t size() const { return map_len; }
+
+  private:
+    void reset();
+
+    void *map_addr = nullptr;
+    size_t map_len = 0;
+    /** Buffered contents when mmap is unavailable. */
+    std::vector<uint8_t> fallback;
+    bool is_valid = false;
+};
+
+/**
+ * Write @p len bytes to @p path atomically: the bytes land in a
+ * same-directory temp file first and are published with rename(2),
+ * so a concurrent MappedFile::openRead sees either the complete old
+ * file or the complete new one. Returns false (never fatal) on any
+ * I/O failure — the plan store treats an unsaved plan as a future
+ * cold encode, not an error.
+ */
+bool writeFileAtomic(const std::string &path, const void *data,
+                     size_t len);
+
+/** mkdir -p. Returns false on failure (existing dir is success). */
+bool makeDirs(const std::string &path);
+
+} // namespace s2ta
+
+#endif // S2TA_BASE_MAPPED_FILE_HH

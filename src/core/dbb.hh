@@ -165,6 +165,25 @@ class DbbMatrix
     static DbbMatrix fromActivations(const GemmProblem &p,
                                      const DbbSpec &spec);
 
+    /**
+     * Reassemble a matrix from already-encoded blocks — the plan
+     * store and spill-tier hydration paths, which recover blocks
+     * from a serialized image instead of re-encoding operands.
+     * @p blks must hold exactly vectors * blocks_per_vector blocks
+     * in vector-major order (the layout vectorBlocks exposes).
+     */
+    static DbbMatrix
+    fromParts(DbbSpec s, int vectors, int blocks_per_vector,
+              std::vector<DbbBlock> blks)
+    {
+        s2ta_assert(blks.size() == static_cast<size_t>(vectors) *
+                                       blocks_per_vector,
+                    "%zu blocks for %d x %d", blks.size(), vectors,
+                    blocks_per_vector);
+        return DbbMatrix(s, vectors, blocks_per_vector,
+                         std::move(blks));
+    }
+
     const DbbSpec &spec() const { return dbb_spec; }
     int vectors() const { return n_vectors; }
     int blocksPerVector() const { return n_blocks; }
@@ -227,6 +246,14 @@ class DbbMatrix
     DbbMatrix(DbbSpec s, int vectors, int blocks)
         : dbb_spec(s), n_vectors(vectors), n_blocks(blocks),
           blks(static_cast<size_t>(vectors) * blocks)
+    {}
+
+    /** Adopt already-encoded blocks without the zero-fill pass
+     *  (the hydration paths memcpy/decode straight into place). */
+    DbbMatrix(DbbSpec s, int vectors, int blocks,
+              std::vector<DbbBlock> b)
+        : dbb_spec(s), n_vectors(vectors), n_blocks(blocks),
+          blks(std::move(b))
     {}
 
     DbbSpec dbb_spec;

@@ -1,0 +1,123 @@
+/** @file Property tests for the SIMD tiers of the mask-intersection
+ *  row-dot kernel: across random masks (including all-zero runs and
+ *  fully dense blocks), random stored values, and every row length
+ *  around the tiers' batch widths, each compiled-in tier must match
+ *  the scalar rank-gather loop bit for bit. Tiers the running CPU
+ *  lacks fall back to the scalar alias and pass trivially. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/gemm_kernels.hh"
+#include "arch/gemm_plan.hh"
+#include "base/random.hh"
+#include "core/dbb.hh"
+
+namespace s2ta {
+namespace {
+
+/** Random valid DBB block: random mask, values in the stored slots
+ *  (non-zero, as dbbEncode would produce), zeros beyond them. */
+DbbBlock
+randomBlock(Rng &rng, double zero_mask_prob)
+{
+    DbbBlock b;
+    if (rng.uniformReal() < zero_mask_prob)
+        return b; // all-zero block, the RLE/expansion edge case
+    b.mask = static_cast<Mask8>(rng.uniformInt(1, 255));
+    const int stored = maskPopcount(b.mask);
+    for (int s = 0; s < stored; ++s) {
+        int8_t v = 0;
+        while (v == 0)
+            v = static_cast<int8_t>(rng.uniformInt(-128, 127));
+        b.values[static_cast<size_t>(s)] = v;
+    }
+    return b;
+}
+
+std::vector<DbbBlock>
+randomRow(Rng &rng, int nblocks, double zero_mask_prob)
+{
+    std::vector<DbbBlock> row(static_cast<size_t>(nblocks));
+    for (auto &b : row)
+        b = randomBlock(rng, zero_mask_prob);
+    return row;
+}
+
+TEST(GemmKernels, SimdTiersMatchScalarRowDot)
+{
+    Rng rng(0xA2C2);
+    // Row lengths around both batch widths (SSSE3 pairs, AVX2
+    // quads) including the empty row and every tail length.
+    for (const int nblocks :
+         {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 33, 64}) {
+        for (const double zp : {0.0, 0.3, 0.9}) {
+            for (int trial = 0; trial < 8; ++trial) {
+                const auto a = randomRow(rng, nblocks, zp);
+                const auto w = randomRow(rng, nblocks, zp);
+                const int32_t want =
+                    dbbDotRow(a.data(), w.data(), nblocks);
+                if (dbbSimdKernelSupportedImpl()) {
+                    EXPECT_EQ(dbbDotRowSimdV2(a.data(), w.data(),
+                                              nblocks),
+                              want)
+                        << "ssse3, nblocks " << nblocks;
+                }
+                if (dbbAvx2KernelSupportedImpl()) {
+                    EXPECT_EQ(dbbDotRowAvx2(a.data(), w.data(),
+                                            nblocks),
+                              want)
+                        << "avx2, nblocks " << nblocks;
+                }
+            }
+        }
+    }
+}
+
+TEST(GemmKernels, ExtremeValuesDoNotDiverge)
+{
+    // INT8 extremes exercise the sign-extension paths: (-128)^2
+    // sums must agree across every tier.
+    for (const int nblocks : {1, 3, 4, 5, 8}) {
+        std::vector<DbbBlock> a(static_cast<size_t>(nblocks));
+        std::vector<DbbBlock> w(static_cast<size_t>(nblocks));
+        for (int i = 0; i < nblocks; ++i) {
+            a[static_cast<size_t>(i)].mask = 0xff;
+            w[static_cast<size_t>(i)].mask = 0xff;
+            for (int s = 0; s < 8; ++s) {
+                a[static_cast<size_t>(i)]
+                    .values[static_cast<size_t>(s)] =
+                    (s % 2 == 0) ? int8_t{-128} : int8_t{127};
+                w[static_cast<size_t>(i)]
+                    .values[static_cast<size_t>(s)] =
+                    (s % 3 == 0) ? int8_t{-128} : int8_t{-1};
+            }
+        }
+        const int32_t want = dbbDotRow(a.data(), w.data(), nblocks);
+        if (dbbSimdKernelSupportedImpl()) {
+            EXPECT_EQ(dbbDotRowSimdV2(a.data(), w.data(), nblocks),
+                      want);
+        }
+        if (dbbAvx2KernelSupportedImpl()) {
+            EXPECT_EQ(dbbDotRowAvx2(a.data(), w.data(), nblocks),
+                      want);
+        }
+    }
+}
+
+TEST(GemmKernels, DispatcherPrefersWidestTier)
+{
+    dbbForceScalarKernel(true);
+    EXPECT_EQ(dbbActiveKernel(), DbbKernelKind::Scalar);
+    dbbForceScalarKernel(false);
+    if (dbbAvx2KernelSupportedImpl())
+        EXPECT_EQ(dbbActiveKernel(), DbbKernelKind::Avx2);
+    else if (dbbSimdKernelAvailable())
+        EXPECT_EQ(dbbActiveKernel(), DbbKernelKind::SimdV2);
+    else
+        EXPECT_EQ(dbbActiveKernel(), DbbKernelKind::Scalar);
+}
+
+} // namespace
+} // namespace s2ta

@@ -8,6 +8,7 @@
 
 #include "arch/accelerator.hh"
 #include "arch/plan_cache.hh"
+#include "arch/plan_store.hh"
 #include "workload/sparse_gen.hh"
 
 namespace s2ta {
@@ -105,6 +106,101 @@ TEST(PlanCache, ByteBudgetEvictsButKeepsNewestEntry)
     // b is the resident entry now.
     cache.acquire(b, 8, false);
     EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(PlanCache, SpillTierRehydratesEvictedEntriesBitwise)
+{
+    // Entry-capped resident tier with a spill tier underneath: a
+    // cyclic access pattern that LRU-thrashes the resident tier is
+    // served by rehydration instead of re-encoding, and every
+    // rehydrated plan is indistinguishable from a fresh build.
+    PlanCache cache(/*max_entries=*/2, /*max_bytes=*/0,
+                    /*spill_max_bytes=*/1 << 30);
+    std::vector<GemmProblem> ps;
+    for (uint64_t s = 0; s < 4; ++s)
+        ps.push_back(smallGemm(0xF0 + s));
+
+    for (int round = 0; round < 2; ++round) {
+        for (const GemmProblem &p : ps) {
+            const auto e = cache.acquire(p, 8, true);
+            const GemmPlan fresh = GemmPlan::build(p, 8, true);
+            std::vector<int32_t> got(
+                static_cast<size_t>(p.m) * p.n);
+            std::vector<int32_t> want(got.size());
+            dbbGemm(e->plan, got.data());
+            dbbGemm(fresh, want.data());
+            EXPECT_EQ(got, want) << "round " << round;
+            EXPECT_EQ(e->problem.a, p.a) << "round " << round;
+            EXPECT_EQ(e->problem.w, p.w) << "round " << round;
+            EXPECT_EQ(e->plan.wgtDenseT() != nullptr,
+                      fresh.wgtDenseT() != nullptr);
+        }
+    }
+    const PlanCache::Stats st = cache.stats();
+    // Each workload encodes exactly once; the whole second round is
+    // rehydration (the 2-entry resident tier can never hold the
+    // 4-workload cycle).
+    EXPECT_EQ(st.misses, 4);
+    EXPECT_EQ(st.spill_hits, 4);
+    EXPECT_EQ(st.hits, 0);
+    EXPECT_GT(st.spill_entries, 0);
+    EXPECT_GT(st.spill_bytes, 0);
+    EXPECT_LE(st.spill_bytes, 1 << 30);
+}
+
+TEST(PlanCache, SpillBudgetDropsOldestAndStaysBounded)
+{
+    // A spill budget big enough for roughly one compact entry:
+    // older spilled entries are dropped, the accounting stays
+    // within budget, and a dropped entry simply re-encodes.
+    const GemmProblem probe = smallGemm(0xF8);
+    const int64_t one_entry = static_cast<int64_t>(
+        spillEncode(CachedPlan(probe, 8, false)).size());
+    PlanCache cache(/*max_entries=*/1, 0,
+                    /*spill_max_bytes=*/one_entry + 8);
+    std::vector<GemmProblem> ps;
+    for (uint64_t s = 0; s < 3; ++s)
+        ps.push_back(smallGemm(0xF8 + s));
+    for (int round = 0; round < 2; ++round)
+        for (const GemmProblem &p : ps)
+            cache.acquire(p, 8, false);
+    const PlanCache::Stats st = cache.stats();
+    EXPECT_GT(st.spill_evictions, 0);
+    EXPECT_LE(st.spill_bytes, one_entry + 8);
+    EXPECT_GT(st.misses, 3) << "dropped entries must re-encode";
+    // Whatever tier served it, results must still be correct: the
+    // cache never returns a wrong plan, only a slower one.
+    const auto e = cache.acquire(ps[0], 8, false);
+    EXPECT_EQ(e->problem.a, ps[0].a);
+}
+
+TEST(PlanCache, SpillDisabledKeepsLegacyEvictionBehavior)
+{
+    PlanCache cache(/*max_entries=*/1);
+    cache.acquire(smallGemm(0xFA), 8, false);
+    cache.acquire(smallGemm(0xFB), 8, false);
+    const PlanCache::Stats st = cache.stats();
+    EXPECT_EQ(st.evictions, 1);
+    EXPECT_EQ(st.spill_entries, 0);
+    EXPECT_EQ(st.spill_bytes, 0);
+    EXPECT_EQ(st.spill_hits, 0);
+}
+
+TEST(PlanCache, StatsSeparateResidentHitsFromRehydrations)
+{
+    const GemmProblem a = smallGemm(0xFC);
+    const GemmProblem b = smallGemm(0xFD);
+    PlanCache cache(/*max_entries=*/1, 0,
+                    /*spill_max_bytes=*/1 << 30);
+    cache.acquire(a, 8, false); // miss
+    cache.acquire(a, 8, false); // resident hit
+    cache.acquire(b, 8, false); // miss; a spills
+    cache.acquire(a, 8, false); // spill hit (rehydration)
+    cache.acquire(a, 8, false); // resident hit again
+    const PlanCache::Stats st = cache.stats();
+    EXPECT_EQ(st.misses, 2);
+    EXPECT_EQ(st.hits, 2);
+    EXPECT_EQ(st.spill_hits, 1);
 }
 
 TEST(PlanCache, DapMemoComputesOnce)

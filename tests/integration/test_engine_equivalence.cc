@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/accelerator.hh"
+#include "arch/gemm_kernels.hh"
 #include "arch/gemm_plan.hh"
 #include "arch/models.hh"
 #include "base/thread_pool.hh"
@@ -197,7 +198,8 @@ TEST(EngineEquivalence, SimdV2KernelMatchesScalarKernel)
 {
     // With the x86-64-v2 build off (or an old CPU) this pins the
     // dispatcher to the scalar kernel twice — trivially equal; with
-    // it on, it is the SSSE3-vs-scalar bitwise check.
+    // it on, it is the widest-SIMD-tier-vs-scalar bitwise check
+    // (AVX2 when the CPU has it, SSSE3 otherwise).
     Rng rng(0xE6);
     // Sparse operating point so dbbGemm picks the intersection
     // kernel (the dense-mirror path bypasses the dispatcher).
@@ -214,7 +216,9 @@ TEST(EngineEquivalence, SimdV2KernelMatchesScalarKernel)
 
     EXPECT_EQ(scalar_kernel.output, auto_kernel.output);
     EXPECT_EQ(auto_kernel.output, gemmReference(p));
-    if (dbbSimdKernelAvailable()) {
+    if (dbbAvx2KernelSupportedImpl()) {
+        EXPECT_EQ(dbbActiveKernel(), DbbKernelKind::Avx2);
+    } else if (dbbSimdKernelAvailable()) {
         EXPECT_EQ(dbbActiveKernel(), DbbKernelKind::SimdV2);
     }
 }
