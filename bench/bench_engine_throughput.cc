@@ -127,9 +127,8 @@ main(int argc, char **argv)
     // --spill-mb keeps evictions rehydratable, and --plan-store
     // persists the encodings so a second invocation warm-starts.
     BenchCache tiers(args, /*default_cache_mb=*/0);
-    PlanCache &cache = tiers.cache;
     NetworkRunOptions cached_opt = fast_opt;
-    cached_opt.plan_cache = &cache;
+    cached_opt.plan_cache = tiers.cachePtr();
 
     std::printf("model=%s arch=%s layers=%zu dense_macs=%lld\n\n",
                 spec.name.c_str(), acfg.array.name().c_str(),
@@ -198,9 +197,9 @@ main(int argc, char **argv)
         .field("fast_layers_per_sec", layers_per_sec, 3)
         .field("fast_sim_macs_per_sec", macs_per_sec, 0)
         .field("plan_store", !args.plan_store.empty())
-        .field("store_hits", cache.stats().store_hits)
-        .field("store_saves", cache.stats().store_saves)
-        .field("spill_hits", cache.stats().spill_hits)
+        .field("store_hits", tiers.cache.stats().store_hits)
+        .field("store_saves", tiers.cache.stats().store_saves)
+        .field("spill_hits", tiers.cache.stats().spill_hits)
         .field("bitwise_equal", equal);
     jw.write(json_path);
     return 0;

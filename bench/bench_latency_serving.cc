@@ -126,7 +126,7 @@ main(int argc, char **argv)
     const serve::VirtualClockConfig clock{/*lanes=*/2,
                                           /*clock_ghz=*/1.0};
     const int cache_budget_mb =
-        args.cache_mb > 0 ? args.cache_mb : 2048;
+        args.cache_mb_given ? args.cache_mb : 2048;
 
     // One accelerator + one budgeted PlanCache for the whole
     // deployment; simulation threads only change wall clock, never
@@ -137,11 +137,10 @@ main(int argc, char **argv)
     acfg.sim_threads = args.ctx.threads;
     const Accelerator acc(acfg);
     BenchCache tiers(args, cache_budget_mb);
-    PlanCache &cache = tiers.cache;
 
     NetworkRunOptions run_opt;
     run_opt.validate_operands = false;
-    run_opt.plan_cache = &cache;
+    run_opt.plan_cache = tiers.cachePtr();
 
     // Servable workloads (generation cost is not serving cost) and
     // per-workload service estimates from one unmeasured pass —
@@ -370,7 +369,7 @@ main(int argc, char **argv)
         std::printf("\n");
     }
 
-    const PlanCache::Stats cs = cache.stats();
+    const PlanCache::Stats cs = tiers.cache.stats();
     const int64_t lookups =
         cs.hits + cs.spill_hits + cs.store_hits + cs.misses;
     const double hit_rate =

@@ -131,7 +131,7 @@ main(int argc, char **argv)
     // encoding resident forever, and the warm-over-cold gate must
     // hold under LRU eviction, not just with unbounded memory.
     const int cache_budget_mb =
-        args.cache_mb > 0 ? args.cache_mb : 1440;
+        args.cache_mb_given ? args.cache_mb : 1440;
     const int64_t cache_budget_bytes =
         static_cast<int64_t>(cache_budget_mb) << 20;
     const int64_t spill_budget_bytes =
@@ -236,10 +236,9 @@ main(int argc, char **argv)
     // here), persisting encodings across scheduler restarts within
     // this process and across whole processes.
     BenchCache warm_tiers(args, cache_budget_mb);
-    PlanCache &warm_cache = warm_tiers.cache;
     serve::StreamScheduler::Options wopts;
     wopts.run = run_opt;
-    wopts.run.plan_cache = &warm_cache;
+    wopts.run.plan_cache = warm_tiers.cachePtr();
     wopts.threads = args.ctx.threads;
     const auto submit_trace = [&](serve::StreamScheduler &s) {
         std::vector<uint64_t> ids;
@@ -265,7 +264,7 @@ main(int argc, char **argv)
         // Counters accumulate for the cache's lifetime; the
         // steady-state hit rate is this rep's delta, not the total
         // (which would fold in the warmup's misses).
-        const PlanCache::Stats before = warm_cache.stats();
+        const PlanCache::Stats before = warm_tiers.cache.stats();
         const double t0 = benchNow();
         auto runs = warm.drain();
         const double dt = benchNow() - t0;
@@ -273,7 +272,7 @@ main(int argc, char **argv)
             warm_seconds = dt;
             warm_runs = std::move(runs);
             warm_ids = std::move(ids);
-            warm_stats = warm_cache.stats();
+            warm_stats = warm_tiers.cache.stats();
             warm_stats.hits -= before.hits;
             warm_stats.misses -= before.misses;
             warm_stats.spill_hits -= before.spill_hits;

@@ -101,6 +101,9 @@ class SweepContext
         /** Persistent plan-store directory shared across contexts,
          *  reps, and processes (empty = no store). */
         std::string plan_store_dir;
+        /** Published-entry byte cap PlanStore::compact() enforces
+         *  on that directory (0 = uncapped). */
+        int64_t store_cap_bytes = 0;
         /** Operand density validation (benches trust their
          *  generators; tests turn it on). */
         bool validate = true;
@@ -113,7 +116,7 @@ class SweepContext
     {
         if (!opts.plan_store_dir.empty()) {
             store = std::make_unique<PlanStore>(
-                opts.plan_store_dir);
+                opts.plan_store_dir, opts.store_cap_bytes);
             cache.attachStore(store.get());
         }
     }
@@ -279,7 +282,7 @@ benchFlagList()
            "--no-plan-cache, --smoke, "
            "--model lenet5|alexnet|vgg16|mobilenetv1|resnet50, "
            "--arch s2ta-w|s2ta-aw, --reps N, --cache-mb N, "
-           "--plan-store DIR, --spill-mb N";
+           "--plan-store DIR, --spill-mb N, --store-cap-mb N";
 }
 
 /** Options common to every bench binary. */
@@ -296,9 +299,11 @@ struct BenchArgs
     std::string arch;
     /** Timing repetitions (best-of). */
     int reps = 1;
-    /** Plan-cache resident-byte budget in MB (0 = the bench's
-     *  default budget). Serving benches bound their shared cache
-     *  with it; sweep benches feed it into ctx.cache_bytes. */
+    /** Plan-cache resident-byte budget in MB. Given explicitly,
+     *  0 disables the plan cache outright; left at the default,
+     *  benches substitute their own budget (check cache_mb_given).
+     *  Serving benches bound their shared cache with it; sweep
+     *  benches feed it into ctx.cache_bytes. */
     int cache_mb = 0;
     /** Persistent plan-store directory (empty = no store). A
      *  second invocation pointed at the same directory warm-starts
@@ -308,6 +313,10 @@ struct BenchArgs
      *  (0 = tier off): bounded caches degrade to rehydration
      *  instead of LRU-thrashing to full re-encodes. */
     int spill_mb = 0;
+    /** Plan-store published-entry cap in MB, enforced by
+     *  compact() when the bench tears its tiers down (0 =
+     *  uncapped). */
+    int store_cap_mb = 0;
     // Whether the knob was given explicitly: benches whose
     // experiment pins a knob (e.g. the engine-comparison bench
     // runs both engines by definition) must reject an explicit
@@ -319,6 +328,7 @@ struct BenchArgs
     bool cache_mb_given = false;
     bool plan_store_given = false;
     bool spill_mb_given = false;
+    bool store_cap_mb_given = false;
 
     /**
      * Fatal unless flag @p name was left at its default. The error
@@ -395,8 +405,15 @@ parseBenchArgs(int argc, char **argv)
             a.reps_given = true;
         } else if (arg == "--cache-mb") {
             a.cache_mb = std::atoi(value().c_str());
-            if (a.cache_mb < 1)
-                s2ta_fatal("--cache-mb must be >= 1");
+            if (a.cache_mb < 0) {
+                s2ta_fatal("--cache-mb must be >= 0 (accepted "
+                           "values: 0 = plan cache disabled, N >= 1 "
+                           "= N MiB resident budget)");
+            }
+            // 0 means *disabled*, not unbounded: an explicit zero
+            // budget turns the cache off everywhere it is wired.
+            if (a.cache_mb == 0)
+                a.ctx.plan_cache = false;
             a.ctx.cache_bytes =
                 static_cast<int64_t>(a.cache_mb) << 20;
             a.cache_mb_given = true;
@@ -408,11 +425,25 @@ parseBenchArgs(int argc, char **argv)
             a.plan_store_given = true;
         } else if (arg == "--spill-mb") {
             a.spill_mb = std::atoi(value().c_str());
-            if (a.spill_mb < 1)
-                s2ta_fatal("--spill-mb must be >= 1");
+            if (a.spill_mb < 0) {
+                s2ta_fatal("--spill-mb must be >= 0 (accepted "
+                           "values: 0 = spill tier off, N >= 1 = "
+                           "N MiB compact-form budget)");
+            }
             a.ctx.spill_bytes =
                 static_cast<int64_t>(a.spill_mb) << 20;
             a.spill_mb_given = true;
+        } else if (arg == "--store-cap-mb") {
+            a.store_cap_mb = std::atoi(value().c_str());
+            if (a.store_cap_mb < 0) {
+                s2ta_fatal("--store-cap-mb must be >= 0 (accepted "
+                           "values: 0 = uncapped, N >= 1 = compact "
+                           "the store to N MiB of published "
+                           "entries)");
+            }
+            a.ctx.store_cap_bytes =
+                static_cast<int64_t>(a.store_cap_mb) << 20;
+            a.store_cap_mb_given = true;
         } else {
             s2ta_fatal("unknown argument '%s' (accepted flags: %s)",
                        arg.c_str(), benchFlagList());
@@ -432,20 +463,42 @@ parseBenchArgs(int argc, char **argv)
 struct BenchCache
 {
     BenchCache(const BenchArgs &args, int default_cache_mb)
-        : store(args.plan_store.empty()
+        : disabled(args.cache_mb_given && args.cache_mb == 0),
+          store(args.plan_store.empty()
                     ? nullptr
-                    : std::make_unique<PlanStore>(args.plan_store)),
+                    : std::make_unique<PlanStore>(
+                          args.plan_store,
+                          static_cast<int64_t>(args.store_cap_mb)
+                              << 20)),
           cache(0,
-                static_cast<int64_t>(args.cache_mb > 0
+                static_cast<int64_t>(args.cache_mb_given
                                          ? args.cache_mb
                                          : default_cache_mb)
                     << 20,
                 static_cast<int64_t>(args.spill_mb) << 20)
     {
-        if (store)
+        if (store && !disabled)
             cache.attachStore(store.get());
     }
 
+    /** Run tier-down lifecycle: a capped store is compacted (torn
+     *  temps swept, quarantine emptied, oldest published entries
+     *  evicted down to the cap) when the bench tears down. */
+    ~BenchCache()
+    {
+        if (store && store->sizeCapBytes() > 0)
+            store->compact();
+    }
+
+    /** The cache to wire into RunOptions::plan_cache — null when
+     *  --cache-mb 0 asked for no plan cache at all. */
+    PlanCache *
+    cachePtr()
+    {
+        return disabled ? nullptr : &cache;
+    }
+
+    bool disabled;
     std::unique_ptr<PlanStore> store;
     PlanCache cache;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "arch/plan_cache.hh"
+#include "base/fault_injection.hh"
 #include "base/thread_pool.hh"
 #include "core/dap.hh"
 
@@ -309,6 +310,33 @@ NetworkRun
 Accelerator::runNetwork(const std::vector<LayerWorkload> &layers,
                         const NetworkRunOptions &opt) const
 {
+    // Evaluate every per-layer fault site up front (a serial loop,
+    // so the site evaluation order — and thus the injector's exact
+    // counters — is thread-count independent). A compute fault
+    // aborts the attempt before anything is simulated: the caller
+    // gets a cleanly failed attempt to retry, never a partially
+    // built or corrupted result.
+    NetworkRun pre;
+    if (opt.fault != nullptr) {
+        for (size_t i = 0; i < layers.size(); ++i) {
+            const uint64_t lid = FaultInjector::combineId(
+                opt.fault_id, static_cast<uint64_t>(i));
+            if (opt.fault->shouldFail(FaultSite::LayerCompute,
+                                      lid)) {
+                if (pre.fault_layer < 0)
+                    pre.fault_layer = static_cast<int>(i);
+                ++pre.fault_count;
+            }
+            const int64_t stall = opt.fault->stallCycles(lid);
+            if (stall > 0) {
+                ++pre.stall_events;
+                pre.stall_cycles += stall;
+            }
+        }
+        if (pre.faulted())
+            return pre;
+    }
+
     // Layers are independent simulations; fan them out and fold the
     // results in layer order so totals are bitwise identical to the
     // serial run.
@@ -318,7 +346,7 @@ Accelerator::runNetwork(const std::vector<LayerWorkload> &layers,
             runLayer(layers[static_cast<size_t>(i)], opt);
     };
     runIndexed(static_cast<int64_t>(layers.size()), run_one);
-    NetworkRun nr;
+    NetworkRun nr = std::move(pre);
     for (LayerRun &lr : runs)
         nr.add(std::move(lr));
     return nr;

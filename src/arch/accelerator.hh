@@ -20,6 +20,7 @@
 
 namespace s2ta {
 
+class FaultInjector;
 class ThreadPool;
 
 /** System-level configuration around the array. */
@@ -55,6 +56,18 @@ struct AcceleratorConfig
 struct NetworkRunOptions : RunOptions
 {
     NetworkRunOptions() { compute_output = false; }
+
+    /**
+     * Optional fault injector (LayerCompute / LayerStall sites).
+     * Per-layer identities are combineId(fault_id, layer_index), so
+     * callers that retry set a fresh fault_id per attempt (e.g.
+     * combineId(request_id, attempt)) to model *transient* faults.
+     * A compute fault aborts the whole attempt before simulation —
+     * results are discarded, never corrupted — and a stall adds
+     * virtual-time cycles without touching any event or output.
+     */
+    const FaultInjector *fault = nullptr;
+    uint64_t fault_id = 0;
 };
 
 /**
@@ -113,6 +126,18 @@ struct NetworkRun
     std::vector<LayerRun> layers;
     EventCounts total;
     int64_t dense_macs = 0;
+
+    /** First layer whose injected compute fault aborted this
+     *  attempt; -1 when the attempt completed. A faulted run
+     *  carries no layer records (nothing was simulated). */
+    int fault_layer = -1;
+    /** Injected compute faults across this attempt's layers. */
+    int64_t fault_count = 0;
+    /** Injected stalls: timing-only, never reflected in events. */
+    int64_t stall_events = 0;
+    int64_t stall_cycles = 0;
+
+    bool faulted() const { return fault_layer >= 0; }
 
     /** Fold a layer record into the totals. */
     void add(LayerRun lr);

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "arch/plan_store.hh"
+#include "base/fault_injection.hh"
 
 namespace s2ta {
 
@@ -60,6 +61,13 @@ PlanCache::attachStore(PlanStore *s)
 {
     std::lock_guard<std::mutex> lk(mu);
     store = s;
+}
+
+void
+PlanCache::setFaultInjector(const FaultInjector *fi)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    fault = fi;
 }
 
 PlanCache::Lookup
@@ -179,11 +187,63 @@ PlanCache::insertAndSpill(uint64_t key,
         insertLocked(key, std::move(entry), &pending);
     }
     for (PendingSpill &ps : pending) {
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            if (fault &&
+                fault->shouldFail(FaultSite::SpillEncode, ps.key)) {
+                // Injected encode failure: the victim is dropped
+                // outright instead of parked. Degradation, not an
+                // error — its next use hydrates from the store or
+                // re-encodes cold.
+                ++counters.spill_drops;
+                continue;
+            }
+        }
         auto bytes = std::make_shared<const std::vector<uint8_t>>(
             spillEncode(*ps.entry));
         std::lock_guard<std::mutex> lk(mu);
         parkLocked(ps.key, std::move(bytes));
     }
+}
+
+void
+PlanCache::dropSpillLocked(uint64_t key)
+{
+    const auto it = spill_slots.find(key);
+    if (it == spill_slots.end())
+        return;
+    counters.spill_bytes -=
+        static_cast<int64_t>(it->second.bytes->size());
+    --counters.spill_entries;
+    spill_lru.erase(it->second.lru_it);
+    spill_slots.erase(it);
+}
+
+std::shared_ptr<const CachedPlan>
+PlanCache::rehydrate(
+    uint64_t key, std::shared_ptr<const std::vector<uint8_t>> bytes)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (fault &&
+            fault->shouldFail(FaultSite::SpillDecode, key)) {
+            // Injected decode failure: drop the (now suspect)
+            // parked image and report a miss; the caller degrades
+            // to the store / cold path. The lookup was not served
+            // by the spill tier after all, so take back the
+            // spill_hit the lookup optimistically counted.
+            ++counters.spill_decode_faults;
+            --counters.spill_hits;
+            dropSpillLocked(key);
+            return nullptr;
+        }
+    }
+    // Rehydrate outside the lock (decode + operand reconstruction +
+    // profile/mirror re-derivation) and promote back into the
+    // resident tier.
+    auto entry = spillDecode(bytes->data(), bytes->size());
+    insertAndSpill(key, entry);
+    return entry;
 }
 
 std::shared_ptr<const CachedPlan>
@@ -264,13 +324,8 @@ PlanCache::acquireKeyed(uint64_t key, int bz, bool dense_mirror,
     if (l.entry)
         return l.entry;
     if (l.spilled) {
-        // Rehydrate outside the lock (decode + operand
-        // reconstruction + profile/mirror re-derivation) and
-        // promote back into the resident tier.
-        auto entry =
-            spillDecode(l.spilled->data(), l.spilled->size());
-        insertAndSpill(key, entry);
-        return entry;
+        if (auto entry = rehydrate(key, std::move(l.spilled)))
+            return entry;
     }
     if (auto entry = loadFromStore(key))
         return entry;
@@ -319,12 +374,11 @@ PlanCache::acquireLayer(
         auto &slot = out[static_cast<size_t>(g)];
         if (l.entry) {
             slot = std::move(l.entry);
-        } else if (l.spilled) {
-            slot =
-                spillDecode(l.spilled->data(), l.spilled->size());
-            insertAndSpill(keys[static_cast<size_t>(g)], slot);
         } else {
-            if (has_store)
+            if (l.spilled)
+                slot = rehydrate(keys[static_cast<size_t>(g)],
+                                 std::move(l.spilled));
+            if (!slot && has_store)
                 slot = loadFromStore(keys[static_cast<size_t>(g)]);
             if (!slot)
                 ++absent;

@@ -87,6 +87,7 @@
 
 namespace s2ta {
 
+class FaultInjector;
 class PlanStore;
 
 /** One cached workload: the owned operands plus their encoded plan. */
@@ -145,6 +146,13 @@ class PlanCache
         int64_t spill_bytes = 0;
         /** Spilled entries dropped to hold the spill byte budget. */
         int64_t spill_evictions = 0;
+        /** Evicted entries dropped outright because their spill
+         *  encode faulted (injected) — degradation: the next use is
+         *  a store hydration or cold encode instead of a decode. */
+        int64_t spill_drops = 0;
+        /** Parked images dropped because their decode faulted
+         *  (injected) — the lookup degrades to store/cold. */
+        int64_t spill_decode_faults = 0;
         /** Plans hydrated from the persistent store. */
         int64_t store_hits = 0;
         /** Store consulted, no file present. */
@@ -236,6 +244,15 @@ class PlanCache
      */
     void attachStore(PlanStore *s);
 
+    /**
+     * Attach a fault injector for the spill tier (SpillEncode /
+     * SpillDecode sites, identity = entry key); null detaches.
+     * Injected spill faults are never errors — the entry degrades
+     * to the next tier down (store, then cold encode), counted in
+     * spill_drops / spill_decode_faults.
+     */
+    void setFaultInjector(const FaultInjector *fi);
+
     Stats stats() const;
 
     /** Drop every entry, resident and spilled (counters keep
@@ -307,6 +324,17 @@ class PlanCache
     std::shared_ptr<const CachedPlan> loadFromStore(uint64_t key);
     /** Persist a freshly built entry (best-effort, counted). */
     void saveToStore(uint64_t key, const CachedPlan &entry);
+    /**
+     * Decode a parked image and promote it back into the resident
+     * tier; null when an injected decode fault fires, in which case
+     * the image is dropped (it is now suspect) and the caller falls
+     * through to the store / cold path.
+     */
+    std::shared_ptr<const CachedPlan>
+    rehydrate(uint64_t key,
+              std::shared_ptr<const std::vector<uint8_t>> bytes);
+    /** Remove @p key's parked image from the spill tier. */
+    void dropSpillLocked(uint64_t key);
 
     struct Slot
     {
@@ -328,6 +356,7 @@ class PlanCache
     const int64_t max_bytes;
     const int64_t spill_max_bytes;
     PlanStore *store = nullptr;
+    const FaultInjector *fault = nullptr;
     mutable std::mutex mu;
     std::unordered_map<uint64_t, Slot> slots;
     std::list<uint64_t> lru;

@@ -1,10 +1,13 @@
 #include "arch/plan_store.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <system_error>
 
+#include "base/fault_injection.hh"
 #include "base/mapped_file.hh"
 
 namespace s2ta {
@@ -256,21 +259,32 @@ planStoreChecksum(const void *data, size_t len)
         PlanCache::combine(PlanCache::combine(h0, h1), h2), h3);
 }
 
-PlanStore::PlanStore(std::string dir) : store_dir(std::move(dir))
+PlanStore::PlanStore(std::string dir, int64_t size_cap_bytes)
+    : store_dir(std::move(dir)), size_cap(size_cap_bytes)
 {
     s2ta_assert(!store_dir.empty(), "empty plan-store directory");
+    s2ta_assert(size_cap >= 0,
+                "plan-store size cap must be >= 0 (0 = uncapped), "
+                "got %lld", (long long)size_cap);
     if (!makeDirs(store_dir)) {
         s2ta_fatal("cannot create plan-store directory '%s'",
                    store_dir.c_str());
     }
+    sweepTornTemps();
+}
+
+int64_t
+PlanStore::sweepTornTemps() const
+{
     // Opportunistic cleanup of torn writes: a process killed
     // mid-save leaves an unpublished "*.tmp.<pid>" file behind
     // (writeFileAtomic publishes via rename, so these never shadow
-    // a real entry — they only accumulate). Sweeping them here can
-    // race a concurrent writer's in-flight temp; that writer's
-    // rename then fails and its save() reports false, which the
-    // cache treats as "plan stays unpersisted" — benign, and the
-    // next process saves it again.
+    // a real entry — they only accumulate). Sweeping can race a
+    // concurrent writer's in-flight temp; that writer's rename then
+    // fails and its save() reports false, which the cache treats as
+    // "plan stays unpersisted" — benign, and the next process saves
+    // it again.
+    int64_t swept = 0;
     std::error_code ec;
     std::filesystem::directory_iterator it(store_dir, ec), end;
     while (!ec && it != end) {
@@ -278,10 +292,145 @@ PlanStore::PlanStore(std::string dir) : store_dir(std::move(dir))
         if (path.filename().string().find(".tmp.") !=
             std::string::npos) {
             std::error_code rm_ec;
-            std::filesystem::remove(path, rm_ec);
+            if (std::filesystem::remove(path, rm_ec) && !rm_ec)
+                ++swept;
         }
         it.increment(ec);
     }
+    n_torn_swept.fetch_add(swept, std::memory_order_relaxed);
+    return swept;
+}
+
+void
+PlanStore::quarantine(const std::string &path) const
+{
+    // Rename, not delete: the corrupt bytes stay inspectable, and
+    // the ".quar" suffix guarantees load() never maps them again
+    // (it only ever opens the exact ".s2ta" path). Racing
+    // quarantiners are benign — the loser's rename fails because
+    // the source is already gone.
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".quar", ec);
+    if (!ec)
+        n_quarantined.fetch_add(1, std::memory_order_relaxed);
+}
+
+PlanStore::Stats
+PlanStore::stats() const
+{
+    Stats s;
+    s.loads = n_loads.load(std::memory_order_relaxed);
+    s.rejects = n_rejects.load(std::memory_order_relaxed);
+    s.quarantined = n_quarantined.load(std::memory_order_relaxed);
+    s.read_faults = n_read_faults.load(std::memory_order_relaxed);
+    s.saves = n_saves.load(std::memory_order_relaxed);
+    s.save_failures =
+        n_save_failures.load(std::memory_order_relaxed);
+    s.torn_swept = n_torn_swept.load(std::memory_order_relaxed);
+    s.quarantine_removed =
+        n_quarantine_removed.load(std::memory_order_relaxed);
+    s.evicted_files =
+        n_evicted_files.load(std::memory_order_relaxed);
+    s.evicted_bytes =
+        n_evicted_bytes.load(std::memory_order_relaxed);
+    return s;
+}
+
+PlanStore::CompactResult
+PlanStore::compact(double max_age_s) const
+{
+    CompactResult res;
+    res.torn_swept = sweepTornTemps();
+
+    struct Entry
+    {
+        std::filesystem::path path;
+        int64_t bytes;
+        std::filesystem::file_time_type mtime;
+    };
+    std::vector<Entry> entries;
+
+    std::error_code ec;
+    std::filesystem::directory_iterator it(store_dir, ec), end;
+    while (!ec && it != end) {
+        const std::filesystem::path path = it->path();
+        const std::string name = path.filename().string();
+        std::error_code fs_ec;
+        if (name.size() > 5 &&
+            name.compare(name.size() - 5, 5, ".quar") == 0) {
+            if (std::filesystem::remove(path, fs_ec) && !fs_ec)
+                ++res.quarantine_removed;
+        } else if (name.rfind("plan_", 0) == 0 && name.size() > 5 &&
+                   name.compare(name.size() - 5, 5, ".s2ta") == 0) {
+            Entry e;
+            e.path = path;
+            e.bytes = static_cast<int64_t>(
+                std::filesystem::file_size(path, fs_ec));
+            if (!fs_ec)
+                e.mtime =
+                    std::filesystem::last_write_time(path, fs_ec);
+            if (!fs_ec)
+                entries.push_back(std::move(e));
+        }
+        it.increment(ec);
+    }
+    n_quarantine_removed.fetch_add(res.quarantine_removed,
+                                   std::memory_order_relaxed);
+
+    // Oldest entries go first; equal mtimes (common on fast
+    // populates) break ties by filename so the eviction order is
+    // deterministic.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path.filename() < b.path.filename();
+              });
+
+    int64_t total = 0;
+    for (const Entry &e : entries)
+        total += e.bytes;
+
+    const auto evict = [&](const Entry &e) {
+        std::error_code rm_ec;
+        if (std::filesystem::remove(e.path, rm_ec) && !rm_ec) {
+            ++res.evicted_files;
+            res.evicted_bytes += e.bytes;
+            total -= e.bytes;
+            return true;
+        }
+        return false;
+    };
+
+    size_t keep_from = 0;
+    if (max_age_s > 0.0) {
+        const auto now =
+            std::filesystem::file_time_type::clock::now();
+        const auto horizon =
+            now - std::chrono::duration_cast<
+                      std::filesystem::file_time_type::duration>(
+                      std::chrono::duration<double>(max_age_s));
+        while (keep_from < entries.size() &&
+               entries[keep_from].mtime < horizon) {
+            evict(entries[keep_from]);
+            ++keep_from;
+        }
+    }
+    if (size_cap > 0) {
+        while (keep_from < entries.size() && total > size_cap) {
+            evict(entries[keep_from]);
+            ++keep_from;
+        }
+    }
+    n_evicted_files.fetch_add(res.evicted_files,
+                              std::memory_order_relaxed);
+    n_evicted_bytes.fetch_add(res.evicted_bytes,
+                              std::memory_order_relaxed);
+
+    res.files = static_cast<int64_t>(entries.size()) -
+                static_cast<int64_t>(keep_from);
+    res.bytes = total;
+    return res;
 }
 
 std::string
@@ -441,11 +590,40 @@ PlanStore::LoadResult
 PlanStore::load(uint64_t key) const
 {
     LoadResult r;
-    const MappedFile mf = MappedFile::openRead(pathFor(key));
+    n_loads.fetch_add(1, std::memory_order_relaxed);
+    if (fault && fault->shouldFail(FaultSite::StoreRead, key)) {
+        // Modeled open/map failure: indistinguishable from an
+        // absent file, so it degrades to a plain miss.
+        n_read_faults.fetch_add(1, std::memory_order_relaxed);
+        return r;
+    }
+    const std::string path = pathFor(key);
+    const MappedFile mf = MappedFile::openRead(path);
     if (!mf.valid())
         return r; // plain miss
-    r.entry = deserialize(mf.data(), mf.size(), key);
+    if (fault && mf.size() > sizeof(PlanFileHeader) &&
+        fault->shouldFail(FaultSite::StoreBitFlip, key)) {
+        // Modeled bit rot: flip one payload bit in a copy of the
+        // image (payload bits are all checksummed, so the flip is
+        // guaranteed to trip validation — a header-padding flip
+        // could slip through undetected and break reconciliation).
+        std::vector<uint8_t> dirty(mf.data(), mf.data() + mf.size());
+        const uint64_t payload_bits =
+            (uint64_t(mf.size()) - sizeof(PlanFileHeader)) * 8;
+        const uint64_t bit =
+            FaultInjector::combineId(key, 0xB17F11Bull) %
+            payload_bits;
+        dirty[sizeof(PlanFileHeader) + bit / 8] ^=
+            uint8_t(1u << (bit % 8));
+        r.entry = deserialize(dirty.data(), dirty.size(), key);
+    } else {
+        r.entry = deserialize(mf.data(), mf.size(), key);
+    }
     r.rejected = r.entry == nullptr;
+    if (r.rejected) {
+        n_rejects.fetch_add(1, std::memory_order_relaxed);
+        quarantine(path);
+    }
     return r;
 }
 
@@ -453,8 +631,32 @@ bool
 PlanStore::save(uint64_t key, const CachedPlan &entry) const
 {
     const std::vector<uint8_t> image = serialize(key, entry);
-    return writeFileAtomic(pathFor(key), image.data(),
-                           image.size());
+    const std::string path = pathFor(key);
+    if (fault && fault->shouldFail(FaultSite::StoreWrite, key)) {
+        // Modeled torn write: leave half the image behind under an
+        // unpublished temp name (swept by attach/compact) and fail
+        // the save. Nothing becomes visible under the real path.
+        const std::string torn = path + ".tmp.injected";
+        if (std::FILE *f = std::fopen(torn.c_str(), "wb")) {
+            std::fwrite(image.data(), 1, image.size() / 2, f);
+            std::fclose(f);
+        }
+        n_save_failures.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (fault && fault->shouldFail(FaultSite::StoreRename, key)) {
+        // Modeled publish failure: the temp was written but the
+        // rename failed; writeFileAtomic cleans its temp on that
+        // path, so nothing is left behind at all.
+        n_save_failures.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (writeFileAtomic(path, image.data(), image.size())) {
+        n_saves.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    n_save_failures.fetch_add(1, std::memory_order_relaxed);
+    return false;
 }
 
 // ---- spill codec ----------------------------------------------------

@@ -54,6 +54,7 @@
 #ifndef S2TA_ARCH_PLAN_STORE_HH
 #define S2TA_ARCH_PLAN_STORE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -62,6 +63,8 @@
 #include "arch/plan_cache.hh"
 
 namespace s2ta {
+
+class FaultInjector;
 
 /** Bump on any layout change; old files are rejected and rebuilt. */
 constexpr uint32_t kPlanStoreVersion = 1;
@@ -77,8 +80,13 @@ class PlanStore
      * directory cannot be created — a store the user asked for on
      * the command line that can never persist anything is a
      * misconfiguration, not a cache miss.
+     *
+     * @p size_cap_bytes (0 = uncapped) is the total published-entry
+     * budget compact() enforces; attaching never evicts on its own,
+     * so a reader can open an over-budget store without mutating it
+     * beyond the torn-temp sweep.
      */
-    explicit PlanStore(std::string dir);
+    explicit PlanStore(std::string dir, int64_t size_cap_bytes = 0);
 
     PlanStore(const PlanStore &) = delete;
     PlanStore &operator=(const PlanStore &) = delete;
@@ -94,7 +102,11 @@ class PlanStore
     /**
      * Hydrate the plan stored under @p key. Absent file = plain
      * miss; present-but-invalid = rejection (both return a null
-     * entry and are never fatal). Concurrent callers are safe.
+     * entry and are never fatal). A rejected file is quarantined:
+     * renamed aside to "<name>.quar" so it is never re-read (load
+     * only ever opens the exact .s2ta path) and the next save
+     * publishes a fresh entry in its place; compact() deletes
+     * quarantined files. Concurrent callers are safe.
      */
     LoadResult load(uint64_t key) const;
 
@@ -103,6 +115,53 @@ class PlanStore
      * false on I/O failure — the plan simply stays unpersisted.
      */
     bool save(uint64_t key, const CachedPlan &entry) const;
+
+    /** Exact lifecycle counters for this store handle (totals;
+     *  increment order across threads is unspecified). */
+    struct Stats
+    {
+        int64_t loads = 0;        ///< load() calls
+        int64_t rejects = 0;      ///< files that failed validation
+        int64_t quarantined = 0;  ///< corrupt files renamed aside
+        int64_t read_faults = 0;  ///< injected open/map failures
+        int64_t saves = 0;        ///< successful publishes
+        int64_t save_failures = 0;///< failed saves (I/O or injected)
+        int64_t torn_swept = 0;   ///< "*.tmp.*" leftovers removed
+        int64_t quarantine_removed = 0; ///< .quar files deleted
+        int64_t evicted_files = 0;///< entries evicted by compact()
+        int64_t evicted_bytes = 0;
+    };
+
+    Stats stats() const;
+
+    /** compact() outcome: what was swept plus what survived. */
+    struct CompactResult
+    {
+        int64_t torn_swept = 0;
+        int64_t quarantine_removed = 0;
+        int64_t evicted_files = 0;
+        int64_t evicted_bytes = 0;
+        /** Published entries remaining after the sweep. */
+        int64_t files = 0;
+        int64_t bytes = 0;
+    };
+
+    /**
+     * Lifecycle sweep: remove torn temps and quarantined files,
+     * evict published entries older than @p max_age_s (0 = no age
+     * cap), then evict oldest-first (mtime, filename tie-break)
+     * until total published bytes fit the construction-time size
+     * cap. Safe to run concurrently with readers: eviction is
+     * unlink, and mapped readers keep their mapping.
+     */
+    CompactResult compact(double max_age_s = 0.0) const;
+
+    int64_t sizeCapBytes() const { return size_cap; }
+
+    /** Attach a fault injector (StoreRead/StoreWrite/StoreRename/
+     *  StoreBitFlip sites, identity = plan key); null detaches.
+     *  Not thread-safe against concurrent load/save. */
+    void setFaultInjector(const FaultInjector *fi) { fault = fi; }
 
     const std::string &dir() const { return store_dir; }
 
@@ -122,7 +181,28 @@ class PlanStore
                 uint64_t expected_key);
 
   private:
+    /** Remove "*.tmp.*" leftovers from the directory (counted). */
+    int64_t sweepTornTemps() const;
+
+    /** Rename a rejected file aside so it is never re-read. */
+    void quarantine(const std::string &path) const;
+
     const std::string store_dir;
+    const int64_t size_cap;
+    const FaultInjector *fault = nullptr;
+
+    // load/save are const (the store is logically a cache); the
+    // lifecycle counters they maintain are bookkeeping, not state.
+    mutable std::atomic<int64_t> n_loads{0};
+    mutable std::atomic<int64_t> n_rejects{0};
+    mutable std::atomic<int64_t> n_quarantined{0};
+    mutable std::atomic<int64_t> n_read_faults{0};
+    mutable std::atomic<int64_t> n_saves{0};
+    mutable std::atomic<int64_t> n_save_failures{0};
+    mutable std::atomic<int64_t> n_torn_swept{0};
+    mutable std::atomic<int64_t> n_quarantine_removed{0};
+    mutable std::atomic<int64_t> n_evicted_files{0};
+    mutable std::atomic<int64_t> n_evicted_bytes{0};
 };
 
 /**

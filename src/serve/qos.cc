@@ -64,6 +64,30 @@ class ShortestJobFirstPolicy final : public AdmissionPolicy
 
 } // anonymous namespace
 
+const char *
+shedReasonName(ShedReason reason)
+{
+    switch (reason) {
+      case ShedReason::None: return "none";
+      case ShedReason::QueueFull: return "queue-full";
+      case ShedReason::StreamQueueFull: return "stream-queue-full";
+      case ShedReason::DeadlineInfeasible:
+        return "deadline-infeasible";
+    }
+    s2ta_panic("unknown ShedReason %d", static_cast<int>(reason));
+}
+
+const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::Ok: return "ok";
+      case Outcome::Shed: return "shed";
+      case Outcome::Failed: return "failed";
+    }
+    s2ta_panic("unknown Outcome %d", static_cast<int>(outcome));
+}
+
 const AdmissionPolicy &
 policyFor(PolicyKind kind)
 {

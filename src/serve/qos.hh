@@ -59,9 +59,79 @@ struct TimedRequest
     int64_t service_cycles = 0;
     /** Policy-visible service estimate (per-workload memo). */
     int64_t est_cycles = 0;
+    /**
+     * Extra occupancy beyond the service cycles, in virtual
+     * seconds: failed retry attempts plus their backoff plus
+     * injected stalls. Accrues on the dispatching lane (the request
+     * is retried in place), so overload from faults is visible to
+     * every request queued behind it.
+     */
+    double extra_delay_s = 0.0;
     int stream = 0;
     /** Scheduler-assigned request id. */
     uint64_t id = 0;
+};
+
+/** Why an admitted request was shed instead of dispatched. */
+enum class ShedReason
+{
+    None = 0,
+    /** Arrived while the global ready queue was at its cap. */
+    QueueFull,
+    /** Arrived while its stream's queue was at its cap. */
+    StreamQueueFull,
+    /** Could not meet its deadline even if dispatched immediately
+     *  (judged on est_cycles at dispatch time). */
+    DeadlineInfeasible,
+};
+
+/** Artifact name of a shed reason ("queue-full", ...). */
+const char *shedReasonName(ShedReason reason);
+
+/** Terminal state of one request's Completion. */
+enum class Outcome
+{
+    /** Served; carries a NetworkRun bitwise identical to the
+     *  fault-free run. */
+    Ok = 0,
+    /** Load-shed before dispatch; carries no run. */
+    Shed,
+    /** Every attempt hit an injected transient fault; carries the
+     *  faulting layer as a typed error instead of a run. */
+    Failed,
+};
+
+/** Artifact name of an outcome ("ok" | "shed" | "failed"). */
+const char *outcomeName(Outcome outcome);
+
+/**
+ * Overload-control knobs for the virtual-clock event loop and the
+ * scheduler's retry machinery. Defaults (all zero / false) mean
+ * "admit everything, never retry" — the pre-overload behavior.
+ */
+struct OverloadConfig
+{
+    /** Arrived-but-undispatched requests admitted across all
+     *  streams; later arrivals are shed. 0 = unbounded. */
+    int64_t global_queue_cap = 0;
+    /** Same cap, applied per stream. 0 = unbounded. */
+    int64_t stream_queue_cap = 0;
+    /** Shed requests whose deadline is infeasible at dispatch time
+     *  instead of running them late. */
+    bool shed_infeasible = false;
+    /** Re-simulation attempts after a transient layer fault (the
+     *  request fails with a typed error once exhausted). */
+    int max_retries = 0;
+    /** Base backoff before retry attempt a (doubles per attempt),
+     *  in virtual seconds; accrues on the request's lane. */
+    double retry_backoff_s = 0.0;
+
+    bool
+    anyShedding() const
+    {
+        return global_queue_cap > 0 || stream_queue_cap > 0 ||
+               shed_infeasible;
+    }
 };
 
 /**

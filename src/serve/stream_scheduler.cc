@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/fault_injection.hh"
 #include "base/thread_pool.hh"
 
 namespace s2ta {
@@ -104,11 +105,56 @@ StreamScheduler::drain()
     // beyond the mutex-guarded PlanCache. The admission policy
     // plays no part here: every request is simulated regardless,
     // so NetworkRuns are policy-independent by construction.
-    std::vector<NetworkRun> runs(admitted.size());
-    const auto run_one = [&](int64_t i) {
-        runs[static_cast<size_t>(i)] = acc.runNetwork(
-            admitted[static_cast<size_t>(i)].model->layers,
-            opts.run);
+    //
+    // With a fault injector attached, each request retries up to
+    // max_retries times after a transient compute fault. Fault
+    // identities are combineId(request id, attempt) — pure
+    // functions of the submission sequence, never of thread
+    // interleaving — so the set of faulted attempts, and therefore
+    // every retry and failure, is identical at every thread count.
+    // A faulted attempt aborts before simulating (the accelerator
+    // returns a cleanly failed run), so a request that eventually
+    // succeeds simulates exactly once and its NetworkRun is bitwise
+    // identical to the fault-free run.
+    struct SimResult
+    {
+        NetworkRun run;
+        int attempts = 1;
+        int faulted_attempts = 0;
+        int fault_layer = -1;
+        int64_t fault_count = 0;
+        int64_t stall_events = 0;
+        int64_t stall_cycles = 0;
+        bool failed = false;
+    };
+    std::vector<SimResult> sims(admitted.size());
+    const bool inject = opts.run.fault != nullptr;
+    const int max_attempts =
+        1 + std::max(0, opts.overload.max_retries);
+    const auto run_one = [&](int64_t idx) {
+        SimResult &sr = sims[static_cast<size_t>(idx)];
+        const Pending &p = admitted[static_cast<size_t>(idx)];
+        for (int a = 0; a < max_attempts; ++a) {
+            NetworkRunOptions ro = opts.run;
+            if (inject) {
+                ro.fault_id = FaultInjector::combineId(
+                    p.id, static_cast<uint64_t>(a));
+            }
+            NetworkRun nr = acc.runNetwork(p.model->layers, ro);
+            sr.attempts = a + 1;
+            sr.fault_count += nr.fault_count;
+            sr.stall_events += nr.stall_events;
+            sr.stall_cycles += nr.stall_cycles;
+            if (!nr.faulted()) {
+                sr.run = std::move(nr);
+                sr.failed = false;
+                sr.fault_layer = -1;
+                return;
+            }
+            ++sr.faulted_attempts;
+            sr.failed = true;
+            sr.fault_layer = nr.fault_layer;
+        }
     };
     ThreadPool *tp = pool();
     if (tp) {
@@ -121,32 +167,56 @@ StreamScheduler::drain()
 
     // Timing: replay the virtual clock over the simulated cycle
     // totals on the draining thread. Service estimates are pinned
-    // per workload by the first simulated request (walked in
-    // admission order, so the memo is deterministic); SJF orders by
-    // the estimate, EDF by deadline, both tie-broken on admission
-    // index inside the event loop.
+    // per workload by the first *successfully* simulated request
+    // (walked in admission order, so the memo is deterministic);
+    // SJF orders by the estimate, EDF by deadline, both tie-broken
+    // on admission index inside the event loop.
+    //
+    // Retry timing is inline on the lane: every failed attempt
+    // occupies its service time (the eventual run's cycles, or the
+    // workload estimate when no attempt ever succeeded) plus an
+    // exponentially growing backoff, all folded into the request's
+    // extra_delay_s — the overload a flaky request inflicts on the
+    // requests queued behind it. Injected stalls land there too:
+    // timing only, never results.
     std::vector<TimedRequest> timed(admitted.size());
     for (size_t i = 0; i < admitted.size(); ++i) {
         const Pending &p = admitted[i];
-        const int64_t cycles = runs[i].total.cycles;
+        const SimResult &sr = sims[i];
+        const int64_t cycles =
+            sr.failed ? 0 : sr.run.total.cycles;
         auto it = cycle_estimates.find(workloadKey(*p.model));
-        if (it == cycle_estimates.end()) {
+        if (it == cycle_estimates.end() && !sr.failed) {
             it = cycle_estimates
                      .emplace(workloadKey(*p.model), cycles)
                      .first;
         }
+        const int64_t est =
+            it != cycle_estimates.end() ? it->second : 0;
+        const int failed_attempts =
+            sr.attempts - (sr.failed ? 0 : 1);
+        const int64_t attempt_cost = sr.failed ? est : cycles;
+        double extra = opts.clock.cyclesToSeconds(sr.stall_cycles);
+        for (int a = 0; a < failed_attempts; ++a) {
+            extra += opts.clock.cyclesToSeconds(attempt_cost);
+            extra += opts.overload.retry_backoff_s *
+                     static_cast<double>(int64_t{1}
+                                         << std::min(a, 20));
+        }
         timed[i].arrival_s = p.arrival_s;
         timed[i].deadline_s = p.deadline_s;
         timed[i].service_cycles = cycles;
-        timed[i].est_cycles = it->second;
+        timed[i].est_cycles = est;
+        timed[i].extra_delay_s = extra;
         timed[i].stream = p.stream;
         timed[i].id = p.id;
     }
     const AdmissionPolicy &policy =
         opts.policy ? *opts.policy
                     : policyFor(PolicyKind::RoundRobin);
-    const std::vector<LaneAssignment> lanes =
-        scheduleOnLanes(opts.clock, timed, policy);
+    ScheduleStats sched_stats;
+    const std::vector<LaneAssignment> lanes = scheduleOnLanes(
+        opts.clock, timed, policy, opts.overload, &sched_stats);
 
     // Reduction: walk admission order (which preserves per-stream
     // submission order) and group completions by stream, so every
@@ -159,6 +229,7 @@ StreamScheduler::drain()
         stream_slot.emplace(stream, stream_slot.size());
     for (size_t i = 0; i < admitted.size(); ++i) {
         const Pending &p = admitted[i];
+        SimResult &sr = sims[i];
         Completion c;
         c.id = p.id;
         c.stream = p.stream;
@@ -171,20 +242,62 @@ StreamScheduler::drain()
         c.start_s = lanes[i].start_s;
         c.finish_s = lanes[i].finish_s;
         c.deadline_s = p.deadline_s;
-        c.lane = lanes[i].lane;
-        c.service_cycles = timed[i].service_cycles;
-        c.run = std::move(runs[i]);
+        c.attempts = sr.attempts;
+        c.fault_count = sr.fault_count;
+        c.stall_cycles = sr.stall_cycles;
+        c.retry_delay_s = timed[i].extra_delay_s;
+        if (lanes[i].shed != ShedReason::None) {
+            // Shed wins over a simulation failure: the request was
+            // never dispatched, so no result — good or failed —
+            // was ever owed.
+            c.outcome = Outcome::Shed;
+            c.shed_reason = lanes[i].shed;
+            c.lane = -1;
+        } else if (sr.failed) {
+            c.outcome = Outcome::Failed;
+            c.fault_layer = sr.fault_layer;
+            c.lane = lanes[i].lane;
+        } else {
+            c.lane = lanes[i].lane;
+            c.service_cycles = timed[i].service_cycles;
+            c.run = std::move(sr.run);
+        }
 
         totals.requests += 1;
-        totals.layers +=
-            static_cast<int64_t>(p.model->layers.size());
-        totals.gemms += c.gemms;
-        totals.dense_macs += c.run.dense_macs;
+        totals.retries += sr.attempts - 1;
+        totals.faulted_attempts += sr.faulted_attempts;
+        totals.layer_faults += sr.fault_count;
+        totals.stall_events += sr.stall_events;
+        totals.stall_cycles += sr.stall_cycles;
+        if (sr.failed)
+            totals.failed += 1;
+        switch (c.shed_reason) {
+          case ShedReason::QueueFull:
+            totals.shed_queue_full += 1;
+            break;
+          case ShedReason::StreamQueueFull:
+            totals.shed_stream_full += 1;
+            break;
+          case ShedReason::DeadlineInfeasible:
+            totals.shed_infeasible += 1;
+            break;
+          case ShedReason::None:
+            break;
+        }
+        if (c.ok()) {
+            totals.completed += 1;
+            totals.layers +=
+                static_cast<int64_t>(p.model->layers.size());
+            totals.gemms += c.gemms;
+            totals.dense_macs += c.run.dense_macs;
+        }
 
         if (opts.on_complete)
             opts.on_complete(c);
         by_stream[stream_slot.at(p.stream)].push_back(std::move(c));
     }
+    totals.max_queue_depth = std::max(totals.max_queue_depth,
+                                      sched_stats.max_queue_depth);
     queues.clear();
     return by_stream;
 }

@@ -77,12 +77,37 @@ struct Completion
     double finish_s = 0.0;
     /** Deadline the request carried, or kNoDeadline. */
     double deadline_s = kNoDeadline;
-    /** Virtual lane the request was dispatched on. */
+    /** Virtual lane the request was dispatched on; -1 when shed. */
     int lane = 0;
-    /** Simulated cycles behind finish - start. */
+    /** Simulated cycles behind finish - start (0 for shed or
+     *  failed requests). */
     int64_t service_cycles = 0;
 
-    /** The whole-network simulation outcome. */
+    // Robustness outcome. Ok completions carry a run bitwise
+    // identical to the fault-free baseline; Shed and Failed carry
+    // an empty run — a fault or overload can delay or drop a
+    // result, never corrupt one.
+    Outcome outcome = Outcome::Ok;
+    /** Why the request was shed (Shed outcome only). */
+    ShedReason shed_reason = ShedReason::None;
+    /** Simulation attempts consumed (retries = attempts - 1). */
+    int attempts = 1;
+    /** Typed error for Failed: the layer whose injected fault
+     *  aborted the final attempt; -1 otherwise. */
+    int fault_layer = -1;
+    /** Injected layer faults observed across all attempts. */
+    int64_t fault_count = 0;
+    /** Injected stall cycles (virtual timing only, never results). */
+    int64_t stall_cycles = 0;
+    /** Virtual seconds of failed attempts + backoff + stalls,
+     *  accrued on the request's lane. */
+    double retry_delay_s = 0.0;
+
+    bool ok() const { return outcome == Outcome::Ok; }
+    bool shed() const { return outcome == Outcome::Shed; }
+    bool failed() const { return outcome == Outcome::Failed; }
+
+    /** The whole-network simulation outcome (Ok only). */
     NetworkRun run;
 
     /** This completion's timing, ready for LatencyTelemetry. */
@@ -104,11 +129,47 @@ struct Completion
 struct ServeStats
 {
     int64_t requests = 0;
+    /** Requests that completed Ok. Layer/gemm/mac totals below
+     *  count served work only (shed and failed requests deliver no
+     *  result). */
+    int64_t completed = 0;
     int64_t layers = 0;
     /** GEMM simulations issued (one per layer group per request). */
     int64_t gemms = 0;
     /** Dense-equivalent MACs simulated (batch included). */
     int64_t dense_macs = 0;
+
+    // Overload + fault accounting. Fault counters cover every
+    // simulated attempt — including attempts of requests that were
+    // later shed in virtual time — so they reconcile exactly with
+    // the injector's per-site totals.
+    int64_t shed_queue_full = 0;
+    int64_t shed_stream_full = 0;
+    int64_t shed_infeasible = 0;
+    /** Requests whose retry budget was exhausted. Counted even
+     *  when the request was *also* shed in virtual time (its
+     *  Completion then reports Shed — it was never dispatched), so
+     *  faulted_attempts == retries + failed holds exactly. */
+    int64_t failed = 0;
+    /** Re-simulation attempts after a transient fault. */
+    int64_t retries = 0;
+    /** Attempts that observed at least one injected layer fault
+     *  (each such attempt either retried or terminally failed its
+     *  request, so this equals retries + failed). */
+    int64_t faulted_attempts = 0;
+    /** Injected layer faults observed (>= faulted_attempts). */
+    int64_t layer_faults = 0;
+    /** Injected stalls (timing-only). */
+    int64_t stall_events = 0;
+    int64_t stall_cycles = 0;
+    /** High-water arrived-but-undispatched virtual queue depth. */
+    int64_t max_queue_depth = 0;
+
+    int64_t
+    shedTotal() const
+    {
+        return shed_queue_full + shed_stream_full + shed_infeasible;
+    }
 };
 
 class StreamScheduler
@@ -143,6 +204,14 @@ class StreamScheduler
          * simulation results, only start/finish instants.
          */
         const AdmissionPolicy *policy = nullptr;
+        /**
+         * Overload controls: queue caps and infeasible-deadline
+         * shedding for the virtual clock, retry budget + backoff
+         * for transiently faulted requests (run.fault must be set
+         * for faults to exist at all). Defaults preserve the
+         * pre-overload behavior exactly.
+         */
+        OverloadConfig overload;
         /**
          * Invoked once per completion during drain(), in
          * deterministic admission order (round-robin across

@@ -9,6 +9,48 @@ namespace s2ta {
 namespace serve {
 
 void
+RobustnessTelemetry::recordOutcome(Outcome outcome,
+                                   ShedReason reason, int attempts,
+                                   int64_t fault_count,
+                                   int64_t stall_cycles)
+{
+    s2ta_assert(attempts >= 1, "attempts %d < 1", attempts);
+    total_ += 1;
+    retries_ += attempts - 1;
+    layer_faults_ += fault_count;
+    stall_cycles_ += stall_cycles;
+    switch (outcome) {
+      case Outcome::Ok:
+        completed_ += 1;
+        break;
+      case Outcome::Failed:
+        failed_ += 1;
+        break;
+      case Outcome::Shed:
+        switch (reason) {
+          case ShedReason::QueueFull:
+            shed_queue_full_ += 1;
+            break;
+          case ShedReason::StreamQueueFull:
+            shed_stream_full_ += 1;
+            break;
+          case ShedReason::DeadlineInfeasible:
+            shed_infeasible_ += 1;
+            break;
+          case ShedReason::None:
+            s2ta_panic("Shed outcome with ShedReason::None");
+        }
+        break;
+    }
+}
+
+void
+RobustnessTelemetry::clear()
+{
+    *this = RobustnessTelemetry{};
+}
+
+void
 LatencyTelemetry::record(const LatencySample &s)
 {
     const double latency = s.latency();

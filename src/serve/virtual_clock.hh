@@ -51,8 +51,28 @@ struct LaneAssignment
 {
     double start_s = 0.0;
     double finish_s = 0.0;
-    /** Lane the request ran on (informational). */
+    /** Lane the request ran on; -1 when shed. */
     int lane = 0;
+    /** Why the request was shed (None = it was dispatched). A shed
+     *  request's start/finish both equal the shed instant. */
+    ShedReason shed = ShedReason::None;
+};
+
+/** Event-loop outcome counters for one schedule. */
+struct ScheduleStats
+{
+    int64_t dispatched = 0;
+    int64_t shed_queue_full = 0;
+    int64_t shed_stream_full = 0;
+    int64_t shed_infeasible = 0;
+    /** High-water arrived-but-undispatched queue depth. */
+    int64_t max_queue_depth = 0;
+
+    int64_t
+    shedTotal() const
+    {
+        return shed_queue_full + shed_stream_full + shed_infeasible;
+    }
 };
 
 /**
@@ -67,6 +87,23 @@ std::vector<LaneAssignment>
 scheduleOnLanes(const VirtualClockConfig &cfg,
                 const std::vector<TimedRequest> &reqs,
                 const AdmissionPolicy &policy);
+
+/**
+ * Overload-aware variant: queue caps shed a request the instant it
+ * arrives over a full queue (global or its stream's), and
+ * shed_infeasible sheds at dispatch time any waiting request whose
+ * deadline cannot be met even if dispatched immediately (judged on
+ * est_cycles). Sheds happen *in virtual time* on deterministic
+ * inputs, so the shed set is a pure function of the trace and the
+ * caps — identical at every thread count. With a default
+ * OverloadConfig this is exactly the base loop.
+ */
+std::vector<LaneAssignment>
+scheduleOnLanes(const VirtualClockConfig &cfg,
+                const std::vector<TimedRequest> &reqs,
+                const AdmissionPolicy &policy,
+                const OverloadConfig &overload,
+                ScheduleStats *stats = nullptr);
 
 /**
  * Open-loop Poisson arrival trace: @p n arrival instants with

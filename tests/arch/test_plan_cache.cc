@@ -9,6 +9,7 @@
 #include "arch/accelerator.hh"
 #include "arch/plan_cache.hh"
 #include "arch/plan_store.hh"
+#include "base/fault_injection.hh"
 #include "workload/sparse_gen.hh"
 
 namespace s2ta {
@@ -201,6 +202,60 @@ TEST(PlanCache, StatsSeparateResidentHitsFromRehydrations)
     EXPECT_EQ(st.misses, 2);
     EXPECT_EQ(st.hits, 2);
     EXPECT_EQ(st.spill_hits, 1);
+}
+
+TEST(PlanCache, InjectedSpillEncodeFaultDegradesToColdRebuild)
+{
+    const GemmProblem a = smallGemm(0xD0);
+    const GemmProblem b = smallGemm(0xD1);
+    FaultInjector fi(0x21);
+    fi.setRate(FaultSite::SpillEncode, 1.0);
+    PlanCache cache(/*max_entries=*/1, 0,
+                    /*spill_max_bytes=*/1 << 30);
+    cache.setFaultInjector(&fi);
+
+    cache.acquire(a, 8, false); // miss
+    cache.acquire(b, 8, false); // miss; a's spill encode faults
+    const auto e = cache.acquire(a, 8, false);
+    // The dropped entry degrades to a cold re-encode — counted,
+    // never wrong.
+    const PlanCache::Stats st = cache.stats();
+    EXPECT_EQ(st.misses, 3);
+    EXPECT_EQ(st.spill_hits, 0);
+    EXPECT_EQ(st.spill_entries, 0);
+    EXPECT_GT(st.spill_drops, 0);
+    EXPECT_EQ(st.spill_drops, fi.injected(FaultSite::SpillEncode));
+    EXPECT_EQ(e->problem.a, a.a);
+}
+
+TEST(PlanCache, InjectedSpillDecodeFaultFallsBackToColderTier)
+{
+    const GemmProblem a = smallGemm(0xD2);
+    const GemmProblem b = smallGemm(0xD3);
+    PlanCache cache(/*max_entries=*/1, 0,
+                    /*spill_max_bytes=*/1 << 30);
+    cache.acquire(a, 8, false); // miss
+    cache.acquire(b, 8, false); // miss; a spills cleanly
+
+    // Decode of the parked image faults: the image is dropped and
+    // the lookup degrades to a cold rebuild (no store attached).
+    FaultInjector fi(0x22);
+    fi.setRate(FaultSite::SpillDecode, 1.0);
+    cache.setFaultInjector(&fi);
+    const auto e = cache.acquire(a, 8, false);
+    const PlanCache::Stats st = cache.stats();
+    EXPECT_EQ(st.misses, 3);
+    EXPECT_EQ(st.spill_hits, 0);
+    EXPECT_GT(st.spill_decode_faults, 0);
+    EXPECT_EQ(st.spill_decode_faults,
+              fi.injected(FaultSite::SpillDecode));
+    EXPECT_EQ(e->problem.a, a.a);
+    // The faulted image was dropped, not re-read: a second lookup
+    // with faults cleared still re-encodes.
+    fi.setRate(FaultSite::SpillDecode, 0.0);
+    cache.acquire(b, 8, false); // a spills again... (b evicts a)
+    EXPECT_EQ(cache.stats().spill_decode_faults,
+              st.spill_decode_faults);
 }
 
 TEST(PlanCache, DapMemoComputesOnce)

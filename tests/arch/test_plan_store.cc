@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -15,6 +16,7 @@
 
 #include "arch/accelerator.hh"
 #include "arch/plan_store.hh"
+#include "base/fault_injection.hh"
 #include "nn/model_zoo.hh"
 #include "workload/model_workloads.hh"
 #include "workload/sparse_gen.hh"
@@ -231,7 +233,8 @@ TEST(PlanStore, RejectsTruncatedFiles)
 
     const auto image = readFile(store.pathFor(key));
     // Every truncation point must reject: header-only, mid-payload,
-    // empty.
+    // empty. Each rejection also quarantines the corrupt file
+    // (renames it to .quar), so the path is absent afterwards.
     for (const size_t keep :
          {size_t{0}, size_t{10}, size_t{48}, image.size() / 2,
           image.size() - 1}) {
@@ -240,9 +243,16 @@ TEST(PlanStore, RejectsTruncatedFiles)
         const auto r = store.load(key);
         EXPECT_EQ(r.entry, nullptr) << "kept " << keep;
         EXPECT_TRUE(r.rejected) << "kept " << keep;
+        EXPECT_FALSE(std::filesystem::exists(store.pathFor(key)))
+            << "kept " << keep;
     }
+    EXPECT_EQ(store.stats().rejects, 5);
+    EXPECT_EQ(store.stats().quarantined, 5);
 
-    // The rebuild path silently replaces the bad file.
+    // The rebuild path quarantines the bad file and silently
+    // publishes a fresh one in its place.
+    writeFile(store.pathFor(key),
+              {image.begin(), image.begin() + image.size() / 2});
     PlanCache cache;
     cache.attachStore(&store);
     const auto rebuilt = cache.acquire(p, 8, false);
@@ -401,6 +411,200 @@ TEST(PlanStore, SweepsTornTempFilesOnOpen)
         << "constructor must sweep torn temp files";
     // The published entry is untouched.
     EXPECT_NE(reopened.load(key).entry, nullptr);
+}
+
+/** Files in @p dir whose name contains @p needle. */
+int64_t
+countFilesContaining(const std::string &dir,
+                     const std::string &needle)
+{
+    int64_t n = 0;
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir)) {
+        if (e.path().filename().string().find(needle) !=
+            std::string::npos)
+            ++n;
+    }
+    return n;
+}
+
+TEST(PlanStore, InjectedWriteFaultLeavesNoVisibleEntry)
+{
+    const std::string dir = storeDir("wfault");
+    PlanStore store(dir);
+    FaultInjector fi(0x11);
+    fi.setRate(FaultSite::StoreWrite, 1.0);
+    store.setFaultInjector(&fi);
+
+    const GemmProblem p = smallGemm(0x58);
+    const uint64_t key = cacheKeyFor(p, 8, false);
+    EXPECT_FALSE(store.save(key, CachedPlan(p, 8, false)));
+
+    // Nothing visible under the published path, only the torn temp
+    // the modeled mid-save crash left behind; a load is a plain
+    // miss, not a rejection.
+    EXPECT_FALSE(std::filesystem::exists(store.pathFor(key)));
+    EXPECT_EQ(countFilesContaining(dir, ".tmp."), 1);
+    const auto r = store.load(key);
+    EXPECT_EQ(r.entry, nullptr);
+    EXPECT_FALSE(r.rejected);
+    EXPECT_EQ(store.stats().saves, 0);
+    EXPECT_EQ(store.stats().save_failures, 1);
+    EXPECT_EQ(fi.injected(FaultSite::StoreWrite), 1);
+
+    // compact() sweeps the torn temp, counted.
+    const auto res = store.compact();
+    EXPECT_EQ(res.torn_swept, 1);
+    EXPECT_EQ(res.files, 0);
+    EXPECT_EQ(countFilesContaining(dir, ".tmp."), 0);
+    EXPECT_EQ(store.stats().torn_swept, 1);
+}
+
+TEST(PlanStore, InjectedRenameFaultFailsSaveCleanly)
+{
+    const std::string dir = storeDir("rfault");
+    PlanStore store(dir);
+    FaultInjector fi(0x12);
+    fi.setRate(FaultSite::StoreRename, 1.0);
+    store.setFaultInjector(&fi);
+
+    const GemmProblem p = smallGemm(0x59);
+    const uint64_t key = cacheKeyFor(p, 8, false);
+    EXPECT_FALSE(store.save(key, CachedPlan(p, 8, false)));
+    // A failed publish leaves nothing behind at all.
+    EXPECT_TRUE(std::filesystem::is_empty(dir));
+    EXPECT_EQ(store.stats().save_failures, 1);
+
+    // Dropping the rate restores normal saves on the same handle.
+    fi.setRate(FaultSite::StoreRename, 0.0);
+    EXPECT_TRUE(store.save(key, CachedPlan(p, 8, false)));
+    EXPECT_NE(store.load(key).entry, nullptr);
+}
+
+TEST(PlanStore, InjectedBitFlipQuarantinesOnceAndRebuilds)
+{
+    const std::string dir = storeDir("bfault");
+    const GemmProblem p = smallGemm(0x5a);
+    const uint64_t key = cacheKeyFor(p, 8, false);
+    {
+        PlanStore pristine(dir);
+        ASSERT_TRUE(pristine.save(key, CachedPlan(p, 8, false)));
+    }
+
+    // A reader under modeled bit rot: the flipped image is rejected,
+    // the file quarantined (exactly one .quar appears), and the
+    // cache degrades to a cold encode and republishes.
+    PlanStore store(dir);
+    FaultInjector fi(0x13);
+    fi.setRate(FaultSite::StoreBitFlip, 1.0);
+    store.setFaultInjector(&fi);
+    PlanCache cache;
+    cache.attachStore(&store);
+    const auto rebuilt = cache.acquire(p, 8, false);
+    ASSERT_NE(rebuilt, nullptr);
+    EXPECT_EQ(cache.stats().store_rejects, 1);
+    EXPECT_EQ(store.stats().rejects, 1);
+    EXPECT_EQ(store.stats().quarantined, 1);
+    EXPECT_EQ(fi.injected(FaultSite::StoreBitFlip), 1);
+    EXPECT_EQ(countFilesContaining(dir, ".quar"), 1);
+    EXPECT_EQ(countFilesContaining(dir, ".s2ta"), 2)
+        << "republished entry plus the quarantined original";
+
+    // The republished file is valid: a fresh fault-free handle
+    // hydrates it and it matches a direct build exactly.
+    PlanStore clean(dir);
+    const auto back = clean.load(key);
+    ASSERT_NE(back.entry, nullptr);
+    expectEntriesEqual(CachedPlan(p, 8, false), *back.entry);
+
+    // compact() deletes the quarantined file, counted.
+    const auto res = clean.compact();
+    EXPECT_EQ(res.quarantine_removed, 1);
+    EXPECT_EQ(res.files, 1);
+    EXPECT_EQ(countFilesContaining(dir, ".quar"), 0);
+    EXPECT_EQ(clean.stats().quarantine_removed, 1);
+}
+
+TEST(PlanStore, CompactEnforcesSizeCap)
+{
+    const std::string dir = storeDir("cap");
+    std::vector<uint64_t> keys;
+    int64_t file_bytes = 0;
+    {
+        PlanStore store(dir);
+        for (uint64_t s = 0; s < 6; ++s) {
+            const GemmProblem p = smallGemm(0x700 + s);
+            const uint64_t key = cacheKeyFor(p, 8, false);
+            ASSERT_TRUE(store.save(key, CachedPlan(p, 8, false)));
+            keys.push_back(key);
+        }
+        file_bytes = static_cast<int64_t>(
+            std::filesystem::file_size(store.pathFor(keys[0])));
+    }
+
+    // Re-attach with a budget for two entries; attaching alone
+    // never evicts, compact() does.
+    const int64_t cap = 2 * file_bytes + file_bytes / 2;
+    PlanStore store(dir, cap);
+    EXPECT_EQ(countFilesContaining(dir, ".s2ta"), 6);
+    const auto res = store.compact();
+    EXPECT_EQ(res.evicted_files, 4);
+    EXPECT_EQ(res.evicted_bytes, 4 * file_bytes);
+    EXPECT_EQ(res.files, 2);
+    EXPECT_LE(res.bytes, cap);
+    EXPECT_EQ(countFilesContaining(dir, ".s2ta"), 2);
+    EXPECT_EQ(store.stats().evicted_files, 4);
+
+    // Every surviving file still hydrates.
+    int64_t alive = 0;
+    for (const uint64_t key : keys)
+        alive += store.load(key).entry != nullptr ? 1 : 0;
+    EXPECT_EQ(alive, 2);
+}
+
+TEST(PlanStore, CompactEvictsByAge)
+{
+    const std::string dir = storeDir("age");
+    PlanStore store(dir);
+    const GemmProblem old_p = smallGemm(0x5b);
+    const GemmProblem new_p = smallGemm(0x5c);
+    const uint64_t old_key = cacheKeyFor(old_p, 8, false);
+    const uint64_t new_key = cacheKeyFor(new_p, 8, false);
+    ASSERT_TRUE(store.save(old_key, CachedPlan(old_p, 8, false)));
+    ASSERT_TRUE(store.save(new_key, CachedPlan(new_p, 8, false)));
+
+    // Age one entry an hour into the past; a 60 s horizon evicts it
+    // and keeps the fresh one.
+    std::filesystem::last_write_time(
+        store.pathFor(old_key),
+        std::filesystem::file_time_type::clock::now() -
+            std::chrono::hours(1));
+    const auto res = store.compact(60.0);
+    EXPECT_EQ(res.evicted_files, 1);
+    EXPECT_EQ(res.files, 1);
+    EXPECT_EQ(store.load(old_key).entry, nullptr);
+    EXPECT_NE(store.load(new_key).entry, nullptr);
+}
+
+TEST(PlanStore, InjectedReadFaultIsAPlainMiss)
+{
+    const std::string dir = storeDir("readf");
+    PlanStore store(dir);
+    const GemmProblem p = smallGemm(0x5d);
+    const uint64_t key = cacheKeyFor(p, 8, false);
+    ASSERT_TRUE(store.save(key, CachedPlan(p, 8, false)));
+
+    FaultInjector fi(0x14);
+    fi.setRate(FaultSite::StoreRead, 1.0);
+    store.setFaultInjector(&fi);
+    const auto r = store.load(key);
+    EXPECT_EQ(r.entry, nullptr);
+    EXPECT_FALSE(r.rejected) << "a modeled open failure is a miss, "
+                                "not a corrupt file";
+    EXPECT_EQ(store.stats().read_faults, 1);
+    // The file itself is untouched: detaching the injector loads it.
+    store.setFaultInjector(nullptr);
+    EXPECT_NE(store.load(key).entry, nullptr);
 }
 
 TEST(PlanStore, ChecksumDetectsEveryByte)
