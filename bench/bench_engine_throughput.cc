@@ -70,6 +70,12 @@ main(int argc, char **argv)
                     "this bench compares both engines by design");
     args.rejectFlag(args.plan_cache_given, "--no-plan-cache",
                     "the warm-cache row is part of the experiment");
+    args.rejectFlag(args.replicas_given, "--replicas",
+                    "engine comparison runs one accelerator; fleet "
+                    "scaling lives in bench_fleet_serving");
+    args.rejectFlag(args.placement_given, "--placement",
+                    "engine comparison routes nothing; fleet "
+                    "placement lives in bench_fleet_serving");
     if (args.model.empty())
         args.model = args.smoke ? "lenet5" : "resnet50";
     if (args.arch.empty())

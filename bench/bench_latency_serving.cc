@@ -112,6 +112,13 @@ main(int argc, char **argv)
     args.rejectFlag(args.reps_given, "--reps",
                     "virtual time is deterministic; there is no "
                     "wall-clock noise to best-of");
+    args.rejectFlag(args.replicas_given, "--replicas",
+                    "this bench serves one accelerator; fleet "
+                    "scaling lives in bench_fleet_serving");
+    args.rejectFlag(args.placement_given, "--placement",
+                    "single-accelerator serving has nothing to "
+                    "place; fleet routing lives in "
+                    "bench_fleet_serving");
     const std::string json_path = args.json.empty()
                                       ? "BENCH_latency_serving.json"
                                       : args.json;

@@ -124,6 +124,13 @@ main(int argc, char **argv)
                     "the measured engine is the plan-cached fast "
                     "path (the scalar engine bypasses the plan "
                     "cache entirely)");
+    args.rejectFlag(args.replicas_given, "--replicas",
+                    "this bench serves one accelerator; fleet "
+                    "scaling lives in bench_fleet_serving");
+    args.rejectFlag(args.placement_given, "--placement",
+                    "single-accelerator serving has nothing to "
+                    "place; fleet routing lives in "
+                    "bench_fleet_serving");
     const std::string json_path =
         args.json.empty() ? "BENCH_serving_throughput.json"
                           : args.json;

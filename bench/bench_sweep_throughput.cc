@@ -93,6 +93,12 @@ main(int argc, char **argv)
                     "fixed lane counts)");
     args.rejectFlag(args.plan_cache_given, "--no-plan-cache",
                     "the plan cache is the measured engine");
+    args.rejectFlag(args.replicas_given, "--replicas",
+                    "the sweep evaluates design points, not a "
+                    "fleet; scaling lives in bench_fleet_serving");
+    args.rejectFlag(args.placement_given, "--placement",
+                    "the sweep routes nothing; fleet placement "
+                    "lives in bench_fleet_serving");
     if (args.model.empty())
         args.model = args.smoke ? "lenet5" : "resnet50";
     std::string json_path = args.json.empty()

@@ -282,7 +282,8 @@ benchFlagList()
            "--no-plan-cache, --smoke, "
            "--model lenet5|alexnet|vgg16|mobilenetv1|resnet50, "
            "--arch s2ta-w|s2ta-aw, --reps N, --cache-mb N, "
-           "--plan-store DIR, --spill-mb N, --store-cap-mb N";
+           "--plan-store DIR, --spill-mb N, --store-cap-mb N, "
+           "--replicas N, --placement hash|least-loaded";
 }
 
 /** Options common to every bench binary. */
@@ -317,6 +318,12 @@ struct BenchArgs
      *  compact() when the bench tears its tiers down (0 =
      *  uncapped). */
     int store_cap_mb = 0;
+    /** Fleet size for the fleet-serving bench (each replica is one
+     *  virtual accelerator with its own PlanCache). */
+    int replicas = 4;
+    /** Fleet placement policy ("hash" | "least-loaded"), validated
+     *  against serve::placementByName's accepted set. */
+    std::string placement = "least-loaded";
     // Whether the knob was given explicitly: benches whose
     // experiment pins a knob (e.g. the engine-comparison bench
     // runs both engines by definition) must reject an explicit
@@ -329,6 +336,8 @@ struct BenchArgs
     bool plan_store_given = false;
     bool spill_mb_given = false;
     bool store_cap_mb_given = false;
+    bool replicas_given = false;
+    bool placement_given = false;
 
     /**
      * Fatal unless flag @p name was left at its default. The error
@@ -444,6 +453,20 @@ parseBenchArgs(int argc, char **argv)
             a.ctx.store_cap_bytes =
                 static_cast<int64_t>(a.store_cap_mb) << 20;
             a.store_cap_mb_given = true;
+        } else if (arg == "--replicas") {
+            a.replicas = std::atoi(value().c_str());
+            if (a.replicas < 1)
+                s2ta_fatal("--replicas must be >= 1");
+            a.replicas_given = true;
+        } else if (arg == "--placement") {
+            a.placement = value();
+            if (a.placement != "hash" &&
+                a.placement != "least-loaded") {
+                s2ta_fatal("unknown placement '%s' (accepted "
+                           "values: hash|least-loaded)",
+                           a.placement.c_str());
+            }
+            a.placement_given = true;
         } else {
             s2ta_fatal("unknown argument '%s' (accepted flags: %s)",
                        arg.c_str(), benchFlagList());

@@ -306,6 +306,28 @@ Accelerator::runLayer(const LayerWorkload &wl,
     return lr;
 }
 
+AttemptFaults
+evaluateAttemptFaults(const FaultInjector &fi, uint64_t attempt_id,
+                      size_t n_layers)
+{
+    AttemptFaults af;
+    for (size_t i = 0; i < n_layers; ++i) {
+        const uint64_t lid = FaultInjector::combineId(
+            attempt_id, static_cast<uint64_t>(i));
+        if (fi.shouldFail(FaultSite::LayerCompute, lid)) {
+            if (af.fault_layer < 0)
+                af.fault_layer = static_cast<int>(i);
+            ++af.fault_count;
+        }
+        const int64_t stall = fi.stallCycles(lid);
+        if (stall > 0) {
+            ++af.stall_events;
+            af.stall_cycles += stall;
+        }
+    }
+    return af;
+}
+
 NetworkRun
 Accelerator::runNetwork(const std::vector<LayerWorkload> &layers,
                         const NetworkRunOptions &opt) const
@@ -318,21 +340,12 @@ Accelerator::runNetwork(const std::vector<LayerWorkload> &layers,
     // built or corrupted result.
     NetworkRun pre;
     if (opt.fault != nullptr) {
-        for (size_t i = 0; i < layers.size(); ++i) {
-            const uint64_t lid = FaultInjector::combineId(
-                opt.fault_id, static_cast<uint64_t>(i));
-            if (opt.fault->shouldFail(FaultSite::LayerCompute,
-                                      lid)) {
-                if (pre.fault_layer < 0)
-                    pre.fault_layer = static_cast<int>(i);
-                ++pre.fault_count;
-            }
-            const int64_t stall = opt.fault->stallCycles(lid);
-            if (stall > 0) {
-                ++pre.stall_events;
-                pre.stall_cycles += stall;
-            }
-        }
+        const AttemptFaults af = evaluateAttemptFaults(
+            *opt.fault, opt.fault_id, layers.size());
+        pre.fault_layer = af.fault_layer;
+        pre.fault_count = af.fault_count;
+        pre.stall_events = af.stall_events;
+        pre.stall_cycles = af.stall_cycles;
         if (pre.faulted())
             return pre;
     }

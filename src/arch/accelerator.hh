@@ -71,6 +71,38 @@ struct NetworkRunOptions : RunOptions
 };
 
 /**
+ * Injected-fault outcome of one simulation *attempt*: the
+ * LayerCompute / LayerStall decisions for every layer of the
+ * attempt identified by @p attempt_id, evaluated in layer order
+ * (identities combineId(attempt_id, layer)). This is the single
+ * source of truth both Accelerator::runNetwork (which evaluates it
+ * before simulating anything) and the fleet scheduler's serial
+ * event loop (which re-rolls attempts without re-simulating —
+ * results are attempt-independent) share, so the injector's exact
+ * per-site counters reconcile no matter which path evaluated.
+ */
+struct AttemptFaults
+{
+    /** First layer whose compute fault aborts the attempt; -1 when
+     *  the attempt survives. */
+    int fault_layer = -1;
+    /** Compute faults across the attempt's layers. */
+    int64_t fault_count = 0;
+    /** Injected stalls: virtual-time cycles only. */
+    int64_t stall_events = 0;
+    int64_t stall_cycles = 0;
+
+    bool faulted() const { return fault_layer >= 0; }
+};
+
+/** Evaluate every per-layer fault site of one attempt (see
+ *  AttemptFaults). Pure in (injector seed, attempt_id, n_layers)
+ *  aside from the injector's counters. */
+AttemptFaults evaluateAttemptFaults(const FaultInjector &fi,
+                                    uint64_t attempt_id,
+                                    size_t n_layers);
+
+/**
  * One CNN layer plus the data it runs on. The tensors must already
  * carry the desired sparsity structure (W-DBB pruned weights,
  * DAP-structured activations); pruning is a property of the deployed

@@ -35,6 +35,9 @@ faultSiteName(FaultSite site)
       case FaultSite::SpillDecode: return "spill-decode";
       case FaultSite::LayerCompute: return "layer-compute";
       case FaultSite::LayerStall: return "layer-stall";
+      case FaultSite::ReplicaCrash: return "replica-crash";
+      case FaultSite::ReplicaStall: return "replica-stall";
+      case FaultSite::ReplicaRestart: return "replica-restart";
     }
     s2ta_panic("unknown fault site %d", int(site));
 }

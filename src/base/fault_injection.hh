@@ -71,9 +71,19 @@ enum class FaultSite : int
     /** Accelerator: a modeled per-layer stall adds virtual-time
      *  cycles without touching any simulation result. */
     LayerStall,
+    /** Fleet: a whole replica crashes — every queued and running
+     *  request instance on it is lost and must fail over. */
+    ReplicaCrash,
+    /** Fleet: a replica browns out — it keeps serving, but every
+     *  request dispatched while stalled runs slower (timing only,
+     *  results untouched). */
+    ReplicaStall,
+    /** Fleet: a crashed replica restarts (cold lanes, warm plans
+     *  via its PlanCache over the shared PlanStore). */
+    ReplicaRestart,
 };
 
-constexpr int kFaultSiteCount = 8;
+constexpr int kFaultSiteCount = 11;
 
 /** Human-readable site name for logs and artifacts. */
 const char *faultSiteName(FaultSite site);

@@ -1,0 +1,112 @@
+#include "serve/router.hh"
+
+#include <algorithm>
+
+#include "base/fault_injection.hh"
+#include "base/logging.hh"
+
+namespace s2ta {
+namespace serve {
+
+const char *
+placementName(PlacementKind kind)
+{
+    switch (kind) {
+      case PlacementKind::ConsistentHash: return "hash";
+      case PlacementKind::LeastLoaded: return "least-loaded";
+    }
+    s2ta_panic("unknown placement %d", int(kind));
+}
+
+PlacementKind
+placementByName(const std::string &name)
+{
+    if (name == "hash")
+        return PlacementKind::ConsistentHash;
+    if (name == "least-loaded")
+        return PlacementKind::LeastLoaded;
+    s2ta_fatal("unknown placement '%s' (accepted values: %s)",
+               name.c_str(), placementNameList());
+}
+
+uint64_t
+workloadIdentity(const std::string &model, int batch)
+{
+    // FNV-1a over the name, folded with the batch via the same
+    // splitmix64-style combiner fault identities use.
+    uint64_t h = 0xCBF29CE484222325ull;
+    for (const char c : model) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ull;
+    }
+    return FaultInjector::combineId(h,
+                                    static_cast<uint64_t>(batch));
+}
+
+ReplicaRouter::ReplicaRouter(int replicas, PlacementKind kind,
+                             uint64_t seed)
+    : n_replicas(replicas), placement(kind)
+{
+    s2ta_assert(replicas >= 1, "replicas=%d", replicas);
+    if (placement == PlacementKind::ConsistentHash) {
+        ring.reserve(static_cast<size_t>(replicas) * kVNodes);
+        for (int r = 0; r < replicas; ++r) {
+            for (int v = 0; v < kVNodes; ++v) {
+                const uint64_t pos = FaultInjector::combineId(
+                    FaultInjector::combineId(
+                        seed, static_cast<uint64_t>(r)),
+                    static_cast<uint64_t>(v));
+                ring.push_back(VNode{pos, r});
+            }
+        }
+        std::sort(ring.begin(), ring.end());
+    }
+}
+
+int
+ReplicaRouter::route(uint64_t identity,
+                     const std::vector<bool> &routable,
+                     const std::vector<int64_t> &outstanding,
+                     int exclude) const
+{
+    s2ta_assert(static_cast<int>(routable.size()) == n_replicas,
+                "routable set size %zu != %d replicas",
+                routable.size(), n_replicas);
+    const auto candidate = [&](int r) {
+        return r != exclude && routable[static_cast<size_t>(r)];
+    };
+
+    if (placement == PlacementKind::LeastLoaded) {
+        s2ta_assert(static_cast<int>(outstanding.size()) ==
+                        n_replicas,
+                    "outstanding size %zu != %d replicas",
+                    outstanding.size(), n_replicas);
+        int best = -1;
+        for (int r = 0; r < n_replicas; ++r) {
+            if (!candidate(r))
+                continue;
+            if (best < 0 ||
+                outstanding[static_cast<size_t>(r)] <
+                    outstanding[static_cast<size_t>(best)])
+                best = r;
+        }
+        return best;
+    }
+
+    // Consistent hash: binary-search the ring for the first virtual
+    // node at or after the key, then walk clockwise (wrapping) to
+    // the first node whose replica is a candidate.
+    const VNode probe{identity, -1};
+    size_t start = static_cast<size_t>(
+        std::lower_bound(ring.begin(), ring.end(), probe) -
+        ring.begin());
+    for (size_t i = 0; i < ring.size(); ++i) {
+        const VNode &vn = ring[(start + i) % ring.size()];
+        if (candidate(vn.replica))
+            return vn.replica;
+    }
+    return -1;
+}
+
+} // namespace serve
+} // namespace s2ta

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Health-aware request placement across fleet replicas.
+ *
+ * The fleet scheduler (serve/fleet.hh) asks the router, at every
+ * routing instant (original arrival, failover re-dispatch, hedge
+ * launch), which replica a request instance should queue on. Two
+ * placement policies ship:
+ *
+ *  - ConsistentHash: a ring of virtual nodes keyed by replica
+ *    index; the request's *workload identity* (zoo model name,
+ *    batch) hashes onto the ring and walks clockwise to the first
+ *    routable replica. Same workload -> same replica while the
+ *    routable set is stable, which maximizes per-replica PlanCache
+ *    affinity; when a replica leaves the routable set only the keys
+ *    that hashed to it move (classic consistent-hashing locality).
+ *  - LeastLoaded: the routable replica with the fewest outstanding
+ *    request instances (queued + running), ties broken on the
+ *    lowest replica index. Best throughput under heterogeneous
+ *    service times; no cache affinity.
+ *
+ * Health awareness is the caller's routable set: replicas the
+ * scheduler has *detected* as down, and replicas draining, are
+ * excluded. A crashed-but-undetected replica is still routable —
+ * that window is exactly what failure detection and failover
+ * re-dispatch exist to cover.
+ *
+ * Everything is a pure function of (ring seed, workload identity,
+ * routable set, loads), so placement decisions are identical at
+ * every thread count and on every rerun.
+ */
+
+#ifndef S2TA_SERVE_ROUTER_HH
+#define S2TA_SERVE_ROUTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s2ta {
+namespace serve {
+
+/** The built-in placement policies. */
+enum class PlacementKind
+{
+    ConsistentHash,
+    LeastLoaded,
+};
+
+/** CLI name of a placement ("hash" | "least-loaded"). */
+const char *placementName(PlacementKind kind);
+
+/** Accepted CLI placement names, for flag error messages. */
+inline const char *
+placementNameList()
+{
+    return "hash|least-loaded";
+}
+
+/** Placement by CLI name; fatal on unknown names, listing the
+ *  accepted values. */
+PlacementKind placementByName(const std::string &name);
+
+/** Stable 64-bit identity of a servable workload (zoo model name,
+ *  batch) — the consistent-hash routing key, chosen so every
+ *  request for one workload lands on one replica's warm cache. */
+uint64_t workloadIdentity(const std::string &model, int batch);
+
+class ReplicaRouter
+{
+  public:
+    /**
+     * @param replicas fleet size (ring positions are derived from
+     *        replica indices, so a fleet's ring is a pure function
+     *        of its size and @p seed).
+     * @param kind placement policy.
+     * @param seed ring seed (virtual-node positions).
+     */
+    ReplicaRouter(int replicas, PlacementKind kind,
+                  uint64_t seed = 0xF1EE7);
+
+    int replicas() const { return n_replicas; }
+    PlacementKind kind() const { return placement; }
+
+    /**
+     * Pick a replica for one request instance.
+     *
+     * @param identity workload identity (consistent hash key;
+     *        ignored by LeastLoaded).
+     * @param routable per-replica flag: candidates are the replicas
+     *        the caller believes healthy (not detected down, not
+     *        draining). Size must be replicas().
+     * @param outstanding per-replica queued + running instance
+     *        counts (LeastLoaded order; ignored by ConsistentHash).
+     * @param exclude replica index never returned (the crashed or
+     *        hedged-against replica), or -1.
+     * @return the chosen replica index, or -1 when no replica is
+     *         routable (the caller strands the instance until a
+     *         restart makes one routable again).
+     */
+    int route(uint64_t identity, const std::vector<bool> &routable,
+              const std::vector<int64_t> &outstanding,
+              int exclude = -1) const;
+
+  private:
+    /** One virtual node: ring position -> replica. */
+    struct VNode
+    {
+        uint64_t pos;
+        int replica;
+
+        bool
+        operator<(const VNode &o) const
+        {
+            // Total order: positions collide only across replicas
+            // (same-replica nodes use distinct salts), so break
+            // ties on the replica index for determinism.
+            return pos != o.pos ? pos < o.pos
+                                : replica < o.replica;
+        }
+    };
+
+    /** Virtual nodes per replica: enough that removing one replica
+     *  spreads its keyspace over the survivors roughly evenly. */
+    static constexpr int kVNodes = 64;
+
+    const int n_replicas;
+    const PlacementKind placement;
+    /** The ring, ascending by position. */
+    std::vector<VNode> ring;
+};
+
+} // namespace serve
+} // namespace s2ta
+
+#endif // S2TA_SERVE_ROUTER_HH

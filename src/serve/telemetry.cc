@@ -50,6 +50,40 @@ RobustnessTelemetry::clear()
     *this = RobustnessTelemetry{};
 }
 
+double
+FleetTelemetry::routingSkew() const
+{
+    if (usage_.empty())
+        return 0.0;
+    int64_t total = 0, peak = 0;
+    for (const ReplicaUsage &u : usage_) {
+        total += u.routed;
+        peak = std::max(peak, u.routed);
+    }
+    if (total == 0)
+        return 0.0;
+    const double mean = static_cast<double>(total) /
+                        static_cast<double>(usage_.size());
+    return static_cast<double>(peak) / mean;
+}
+
+double
+FleetTelemetry::cacheHitVariance() const
+{
+    if (usage_.empty())
+        return 0.0;
+    double mean = 0.0;
+    for (const ReplicaUsage &u : usage_)
+        mean += u.hitRate();
+    mean /= static_cast<double>(usage_.size());
+    double var = 0.0;
+    for (const ReplicaUsage &u : usage_) {
+        const double d = u.hitRate() - mean;
+        var += d * d;
+    }
+    return var / static_cast<double>(usage_.size());
+}
+
 void
 LatencyTelemetry::record(const LatencySample &s)
 {
@@ -80,11 +114,22 @@ LatencyTelemetry::record(const LatencySample &s)
 
 namespace {
 
-/** Nearest rank over an ascending sample list: ceil(q*n), 1-based. */
+/**
+ * Nearest rank over an ascending sample list: ceil(q*n), 1-based.
+ * Defined on every stream size — an empty list reports 0.0 (there
+ * is no latency to report, and harnesses emit quantile columns
+ * unconditionally) and a single sample is every quantile of its
+ * stream — rather than relying on rank clamping to paper over the
+ * 0- and 1-sample edge cases.
+ */
 double
 rankOf(const std::vector<double> &sorted, double q)
 {
     const size_t n = sorted.size();
+    if (n == 0)
+        return 0.0;
+    if (n == 1)
+        return sorted[0];
     size_t rank = static_cast<size_t>(
         std::ceil(q * static_cast<double>(n)));
     rank = std::min(std::max<size_t>(rank, 1), n);
@@ -98,7 +143,6 @@ LatencyTelemetry::quantile(double q) const
 {
     s2ta_assert(q > 0.0 && q <= 1.0, "quantile %g out of (0, 1]",
                 q);
-    s2ta_assert(total > 0, "quantile of an empty telemetry");
     std::vector<double> sorted = latencies_s;
     std::sort(sorted.begin(), sorted.end());
     return rankOf(sorted, q);
@@ -107,7 +151,6 @@ LatencyTelemetry::quantile(double q) const
 LatencyQuantiles
 LatencyTelemetry::quantiles() const
 {
-    s2ta_assert(total > 0, "quantiles of an empty telemetry");
     std::vector<double> sorted = latencies_s;
     std::sort(sorted.begin(), sorted.end());
     return {rankOf(sorted, 0.50), rankOf(sorted, 0.95),

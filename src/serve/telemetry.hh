@@ -150,6 +150,123 @@ class RobustnessTelemetry
     int64_t degraded_ = 0;
 };
 
+/** Per-replica serving counters for fleet telemetry. */
+struct ReplicaUsage
+{
+    /** Request instances routed here (original placements,
+     *  failover re-dispatches, and hedges all count). */
+    int64_t routed = 0;
+    /** Instances a lane actually picked up. */
+    int64_t dispatched = 0;
+    /** Ok completions this replica won. */
+    int64_t served = 0;
+    /** Lane occupancy in virtual seconds (service + retry/backoff
+     *  + stall + brownout inflation). */
+    double busy_s = 0.0;
+    /** Lifecycle events applied to this replica. */
+    int64_t crashes = 0;
+    int64_t restarts = 0;
+    int64_t brownouts = 0;
+    int64_t drains = 0;
+    /** Instances lost to a crash while queued or running here. */
+    int64_t lost_instances = 0;
+    /** Snapshot of the replica's PlanCache counters (hits/misses
+     *  across both in-RAM tiers, plus shared-store hits — the
+     *  warm-start path a restarted replica hydrates through). */
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
+    int64_t store_hits = 0;
+
+    double
+    hitRate() const
+    {
+        const int64_t lookups = cache_hits + cache_misses;
+        return lookups > 0 ? static_cast<double>(cache_hits) /
+                                 static_cast<double>(lookups)
+                           : 0.0;
+    }
+};
+
+/**
+ * Fleet-level telemetry: per-replica utilization, routing skew,
+ * failover/hedge counts, and cache-hit variance across replicas.
+ * Deterministic inputs (the fleet event loop runs serially on the
+ * draining thread); not thread-safe.
+ */
+class FleetTelemetry
+{
+  public:
+    explicit FleetTelemetry(int replicas = 0)
+        : usage_(static_cast<size_t>(replicas))
+    {
+    }
+
+    int replicas() const { return static_cast<int>(usage_.size()); }
+    ReplicaUsage &replica(int r) { return usage_.at(size_t(r)); }
+    const ReplicaUsage &
+    replica(int r) const
+    {
+        return usage_.at(static_cast<size_t>(r));
+    }
+    const std::vector<ReplicaUsage> &all() const { return usage_; }
+
+    void recordFailover() { failovers_ += 1; }
+    void recordHedgeLaunched() { hedges_launched_ += 1; }
+    void recordHedgeWin() { hedge_wins_ += 1; }
+    void recordHedgeLoss() { hedge_losses_ += 1; }
+    /** A hedged request where neither instance delivered. */
+    void recordHedgeFailed() { hedge_failed_ += 1; }
+    void recordHedgeCancelled() { hedge_cancelled_ += 1; }
+    void recordHedgeWasted() { hedge_wasted_ += 1; }
+
+    int64_t failovers() const { return failovers_; }
+    int64_t hedgesLaunched() const { return hedges_launched_; }
+    int64_t hedgeWins() const { return hedge_wins_; }
+    int64_t hedgeLosses() const { return hedge_losses_; }
+    int64_t hedgeFailed() const { return hedge_failed_; }
+    /** Losing instances removed from a queue before dispatch. */
+    int64_t hedgeCancelled() const { return hedge_cancelled_; }
+    /** Losing instances that were already running (non-preemptive:
+     *  they finish and their result is discarded). */
+    int64_t hedgeWasted() const { return hedge_wasted_; }
+
+    /** Every launched hedge resolved exactly one way. */
+    bool
+    hedgesReconcile() const
+    {
+        return hedges_launched_ ==
+               hedge_wins_ + hedge_losses_ + hedge_failed_;
+    }
+
+    /** Mean lane utilization of one replica over @p horizon_s of
+     *  virtual time on @p lanes lanes (0 with no horizon). */
+    double
+    utilization(int r, double horizon_s, int lanes) const
+    {
+        if (horizon_s <= 0.0 || lanes <= 0)
+            return 0.0;
+        return replica(r).busy_s /
+               (horizon_s * static_cast<double>(lanes));
+    }
+
+    /** Max-over-mean routed instances across replicas (1.0 =
+     *  perfectly even; 0 when nothing was routed). */
+    double routingSkew() const;
+
+    /** Population variance of per-replica cache hit rates. */
+    double cacheHitVariance() const;
+
+  private:
+    std::vector<ReplicaUsage> usage_;
+    int64_t failovers_ = 0;
+    int64_t hedges_launched_ = 0;
+    int64_t hedge_wins_ = 0;
+    int64_t hedge_losses_ = 0;
+    int64_t hedge_failed_ = 0;
+    int64_t hedge_cancelled_ = 0;
+    int64_t hedge_wasted_ = 0;
+};
+
 class LatencyTelemetry
 {
   public:
@@ -180,12 +297,16 @@ class LatencyTelemetry
 
     /**
      * Exact nearest-rank quantile: the smallest recorded latency x
-     * such that at least ceil(q * n) samples are <= x. Fatal with
-     * no samples; @p q must be in (0, 1].
+     * such that at least ceil(q * n) samples are <= x. Edge cases
+     * are defined, not underflow-clamped: an empty telemetry
+     * reports 0.0 for every quantile, and a single-sample stream
+     * reports that sample for every quantile. @p q must be in
+     * (0, 1].
      */
     double quantile(double q) const;
 
-    /** The standard p50/p95/p99 triple from one sort pass. */
+    /** The standard p50/p95/p99 triple from one sort pass (all
+     *  zero with no samples; the sole sample with one). */
     LatencyQuantiles quantiles() const;
 
     /** Per-stream queueing-delay breakdown, ascending stream id. */

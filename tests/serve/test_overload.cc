@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <map>
 #include <set>
@@ -406,6 +407,101 @@ TEST_F(OverloadTest, StallsMoveTimeButNeverResults)
     EXPECT_EQ(sched.stats().stall_events,
               fi.injected(FaultSite::LayerStall));
     EXPECT_EQ(sched.stats().failed, 0);
+}
+
+TEST_F(OverloadTest, RetryDelayIsTheExactExponentialSeries)
+{
+    // The documented accrual contract, checked term by term:
+    // retry_delay_s == stall seconds + per failed attempt
+    // (the attempt's service seconds + backoff * 2^min(a, 20)),
+    // summed in attempt order. The oracle mirrors the accumulation
+    // order exactly, so EXPECT_DOUBLE_EQ holds bit for bit.
+    const ModelWorkload &mw = registry.workload("lenet5", 1);
+    const double backoff = 0.125;
+    FaultInjector fi(0x0F417);
+    fi.setRate(FaultSite::LayerCompute, 0.1);
+    fi.setRate(FaultSite::LayerStall, 0.05);
+    fi.setStallCycles(1000, 50000);
+    StreamScheduler::Options opts;
+    opts.run = serveRunOptions();
+    opts.run.fault = &fi;
+    opts.threads = 1;
+    opts.overload.max_retries = 8;
+    opts.overload.retry_backoff_s = backoff;
+    StreamScheduler sched(*acc, opts);
+    for (int i = 0; i < 12; ++i)
+        sched.submit(i % 3, mw);
+    int64_t retried = 0;
+    for (const auto &stream : sched.drain()) {
+        for (const auto &c : stream) {
+            ASSERT_TRUE(c.ok());
+            const double service_s =
+                opts.clock.cyclesToSeconds(c.service_cycles);
+            double expected =
+                opts.clock.cyclesToSeconds(c.stall_cycles);
+            for (int a = 0; a < c.attempts - 1; ++a) {
+                expected += service_s;
+                expected += backoff *
+                            static_cast<double>(
+                                int64_t{1} << std::min(a, 20));
+            }
+            EXPECT_DOUBLE_EQ(c.retry_delay_s, expected)
+                << "request " << c.id << " attempts "
+                << c.attempts;
+            retried += c.attempts > 1 ? 1 : 0;
+        }
+    }
+    // The seed retries at least one request, so the exponential
+    // terms above were actually exercised.
+    EXPECT_GT(retried, 0);
+}
+
+TEST_F(OverloadTest, BackoffAccruesOnlyOnTheOwningLane)
+{
+    // Two always-faulting requests on two lanes: each exhausts its
+    // retry budget on its *own* lane, so both start at t = 0 —
+    // backoff never serializes unrelated lanes. A third request
+    // then waits exactly one full retry series, no more: the
+    // series with attempt cost 0 (nothing ever simulated
+    // successfully, so the workload estimate is 0) is
+    // backoff * (1 + 2 + 4) = 3.5 virtual seconds.
+    const ModelWorkload &mw = registry.workload("lenet5", 1);
+    FaultInjector fi(0x42);
+    fi.setRate(FaultSite::LayerCompute, 1.0);
+    StreamScheduler::Options opts;
+    opts.run = serveRunOptions();
+    opts.run.fault = &fi;
+    opts.threads = 1;
+    opts.clock.lanes = 2;
+    opts.overload.max_retries = 2;
+    opts.overload.retry_backoff_s = 0.5;
+    StreamScheduler sched(*acc, opts);
+    sched.submit(0, mw, /*arrival_s=*/0.0);
+    sched.submit(1, mw, /*arrival_s=*/0.0);
+    sched.submit(2, mw, /*arrival_s=*/0.0);
+    const auto by_stream = sched.drain();
+    ASSERT_EQ(by_stream.size(), 3u);
+    const double series = 0.5 * (1.0 + 2.0 + 4.0);
+    for (const auto &stream : by_stream) {
+        ASSERT_EQ(stream.size(), 1u);
+        const Completion &c = stream[0];
+        EXPECT_TRUE(c.failed());
+        EXPECT_EQ(c.attempts, 3);
+        EXPECT_DOUBLE_EQ(c.retry_delay_s, series);
+        // Zero service cycles: the lane was occupied purely by the
+        // accrued series, so finish - start is exactly it.
+        EXPECT_DOUBLE_EQ(c.finish_s - c.start_s, series);
+    }
+    const Completion &first = by_stream[0][0];
+    const Completion &second = by_stream[1][0];
+    const Completion &third = by_stream[2][0];
+    EXPECT_EQ(first.lane, 0);
+    EXPECT_EQ(second.lane, 1);
+    EXPECT_DOUBLE_EQ(first.start_s, 0.0);
+    EXPECT_DOUBLE_EQ(second.start_s, 0.0)
+        << "lane 1 must not inherit lane 0's backoff";
+    EXPECT_EQ(third.lane, 0) << "earliest-free tie breaks low";
+    EXPECT_DOUBLE_EQ(third.start_s, series);
 }
 
 } // anonymous namespace

@@ -1,0 +1,163 @@
+/** @file Placement-router contract: routing is a pure function of
+ *  (ring seed, identity, routable set, loads), consistent hashing
+ *  keeps a workload on one replica while the routable set is
+ *  stable and moves only the departed replica's keys when it
+ *  leaves, least-loaded picks the minimum-outstanding routable
+ *  replica with low-index ties, exclusion and empty routable sets
+ *  behave as documented, and the CLI name round-trip is exact. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "serve/router.hh"
+
+namespace s2ta {
+namespace serve {
+namespace {
+
+std::vector<bool>
+allUp(int n)
+{
+    return std::vector<bool>(static_cast<size_t>(n), true);
+}
+
+std::vector<int64_t>
+noLoad(int n)
+{
+    return std::vector<int64_t>(static_cast<size_t>(n), 0);
+}
+
+TEST(Router, PlacementNamesRoundTrip)
+{
+    EXPECT_STREQ(placementName(PlacementKind::ConsistentHash),
+                 "hash");
+    EXPECT_STREQ(placementName(PlacementKind::LeastLoaded),
+                 "least-loaded");
+    EXPECT_EQ(placementByName("hash"),
+              PlacementKind::ConsistentHash);
+    EXPECT_EQ(placementByName("least-loaded"),
+              PlacementKind::LeastLoaded);
+}
+
+TEST(Router, WorkloadIdentityIsStableAndDiscriminating)
+{
+    const uint64_t a = workloadIdentity("resnet50", 1);
+    EXPECT_EQ(a, workloadIdentity("resnet50", 1));
+    std::set<uint64_t> ids;
+    for (const char *m : {"lenet5", "alexnet", "resnet50"})
+        for (int b : {1, 2, 4})
+            ids.insert(workloadIdentity(m, b));
+    EXPECT_EQ(ids.size(), 9u);
+}
+
+TEST(Router, ConsistentHashIsStickyWhileRoutableSetIsStable)
+{
+    const ReplicaRouter router(4, PlacementKind::ConsistentHash);
+    const std::vector<bool> up = allUp(4);
+    const std::vector<int64_t> load = noLoad(4);
+    for (const char *m : {"lenet5", "alexnet", "resnet50"}) {
+        const uint64_t id = workloadIdentity(m, 2);
+        const int first = router.route(id, up, load);
+        ASSERT_GE(first, 0);
+        ASSERT_LT(first, 4);
+        for (int i = 0; i < 8; ++i)
+            EXPECT_EQ(router.route(id, up, load), first) << m;
+        // Loads never matter to the hash policy.
+        std::vector<int64_t> skewed = {100, 0, 100, 0};
+        EXPECT_EQ(router.route(id, up, skewed), first) << m;
+    }
+    // Two routers of the same (size, seed) agree; a different seed
+    // permutes the ring (checked over enough keys that identical
+    // placement everywhere is astronomically unlikely).
+    const ReplicaRouter twin(4, PlacementKind::ConsistentHash);
+    const ReplicaRouter other(4, PlacementKind::ConsistentHash,
+                              0xD1FF);
+    int moved = 0;
+    for (int b = 1; b <= 64; ++b) {
+        const uint64_t id = workloadIdentity("resnet50", b);
+        EXPECT_EQ(router.route(id, up, load),
+                  twin.route(id, up, load));
+        moved += router.route(id, up, load) !=
+                         other.route(id, up, load)
+                     ? 1
+                     : 0;
+    }
+    EXPECT_GT(moved, 0);
+}
+
+TEST(Router, ConsistentHashMovesOnlyTheDepartedReplicasKeys)
+{
+    const ReplicaRouter router(4, PlacementKind::ConsistentHash);
+    const std::vector<bool> up = allUp(4);
+    const std::vector<int64_t> load = noLoad(4);
+    std::map<uint64_t, int> before;
+    for (int b = 1; b <= 128; ++b) {
+        const uint64_t id = workloadIdentity("mobilenetv1", b);
+        before[id] = router.route(id, up, load);
+    }
+    // Take replica 2 out of the routable set: its keys move, every
+    // other key stays put (the consistent-hashing locality that
+    // keeps surviving replicas' caches warm through a crash).
+    std::vector<bool> degraded = up;
+    degraded[2] = false;
+    int relocated = 0;
+    for (const auto &[id, home] : before) {
+        const int now = router.route(id, degraded, load);
+        if (home == 2) {
+            EXPECT_NE(now, 2);
+            EXPECT_GE(now, 0);
+            relocated += 1;
+        } else {
+            EXPECT_EQ(now, home) << "unaffected key moved";
+        }
+    }
+    EXPECT_GT(relocated, 0) << "64 vnodes over 128 keys must give "
+                               "replica 2 some keyspace";
+}
+
+TEST(Router, LeastLoadedPicksMinimumWithLowIndexTies)
+{
+    const ReplicaRouter router(4, PlacementKind::LeastLoaded);
+    const std::vector<bool> up = allUp(4);
+    const uint64_t id = workloadIdentity("lenet5", 1);
+    EXPECT_EQ(router.route(id, up, {3, 1, 0, 2}), 2);
+    EXPECT_EQ(router.route(id, up, {1, 0, 0, 2}), 1)
+        << "ties break on the lowest index";
+    EXPECT_EQ(router.route(id, up, {0, 0, 0, 0}), 0);
+    // Unroutable replicas are never candidates, however idle.
+    std::vector<bool> degraded = up;
+    degraded[1] = false;
+    EXPECT_EQ(router.route(id, degraded, {5, 0, 6, 6}), 0);
+}
+
+TEST(Router, ExclusionAndEmptyRoutableSet)
+{
+    for (const PlacementKind kind :
+         {PlacementKind::ConsistentHash,
+          PlacementKind::LeastLoaded}) {
+        const ReplicaRouter router(3, kind);
+        const std::vector<bool> up = allUp(3);
+        const std::vector<int64_t> load = noLoad(3);
+        const uint64_t id = workloadIdentity("alexnet", 4);
+        const int home = router.route(id, up, load);
+        const int alt = router.route(id, up, load, home);
+        EXPECT_NE(alt, home) << "the excluded replica (the hedge "
+                                "origin / crash site) never wins";
+        EXPECT_GE(alt, 0);
+        // Nothing routable: -1, the caller strands the instance.
+        const std::vector<bool> down(3, false);
+        EXPECT_EQ(router.route(id, down, load), -1);
+        // Single survivor, but excluded: still -1.
+        std::vector<bool> one(3, false);
+        one[1] = true;
+        EXPECT_EQ(router.route(id, one, load, 1), -1);
+    }
+}
+
+} // anonymous namespace
+} // namespace serve
+} // namespace s2ta

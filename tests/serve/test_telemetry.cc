@@ -158,6 +158,89 @@ TEST(LatencyTelemetry, MeanMaxAndClear)
     EXPECT_DOUBLE_EQ(t.meanLatency(), 0.0);
 }
 
+TEST(LatencyTelemetry, EmptyStreamQuantilesAreZero)
+{
+    // The documented degenerate-stream contract: every quantile of
+    // an empty telemetry object is 0.0 (not a crash, not NaN), at
+    // every q including the boundaries.
+    LatencyTelemetry t;
+    EXPECT_EQ(t.count(), 0);
+    for (const double q : {0.01, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(t.quantile(q), 0.0) << "q=" << q;
+    const LatencyQuantiles lq = t.quantiles();
+    EXPECT_DOUBLE_EQ(lq.p50_s, 0.0);
+    EXPECT_DOUBLE_EQ(lq.p95_s, 0.0);
+    EXPECT_DOUBLE_EQ(lq.p99_s, 0.0);
+    EXPECT_DOUBLE_EQ(t.meanLatency(), 0.0);
+    EXPECT_DOUBLE_EQ(t.maxLatency(), 0.0);
+}
+
+TEST(LatencyTelemetry, SingleSampleStreamIsItsOwnQuantile)
+{
+    // One sample: every quantile — including q = 0.01, whose
+    // nearest-rank index would naively round to rank 0 — is that
+    // sample.
+    LatencyTelemetry t;
+    t.record(sample(0, 0.0, 0.25, 1.75));
+    for (const double q : {0.01, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(t.quantile(q), 1.75) << "q=" << q;
+    const LatencyQuantiles lq = t.quantiles();
+    EXPECT_DOUBLE_EQ(lq.p50_s, 1.75);
+    EXPECT_DOUBLE_EQ(lq.p95_s, 1.75);
+    EXPECT_DOUBLE_EQ(lq.p99_s, 1.75);
+    EXPECT_DOUBLE_EQ(t.meanLatency(), 1.75);
+    EXPECT_DOUBLE_EQ(t.maxLatency(), 1.75);
+    // And after clear() the empty-stream contract applies again.
+    t.clear();
+    EXPECT_DOUBLE_EQ(t.quantile(0.5), 0.0);
+}
+
+TEST(FleetTelemetry, HedgeLedgerReconciles)
+{
+    FleetTelemetry ft(3);
+    EXPECT_TRUE(ft.hedgesReconcile());
+    ft.recordHedgeLaunched();
+    EXPECT_FALSE(ft.hedgesReconcile()); // in flight, unresolved
+    ft.recordHedgeWin();
+    EXPECT_TRUE(ft.hedgesReconcile());
+    ft.recordHedgeLaunched();
+    ft.recordHedgeLoss();
+    ft.recordHedgeLaunched();
+    ft.recordHedgeFailed();
+    EXPECT_TRUE(ft.hedgesReconcile());
+    EXPECT_EQ(ft.hedgesLaunched(), 3);
+    EXPECT_EQ(ft.hedgeWins(), 1);
+    EXPECT_EQ(ft.hedgeLosses(), 1);
+    EXPECT_EQ(ft.hedgeFailed(), 1);
+}
+
+TEST(FleetTelemetry, RoutingSkewIsPeakOverMean)
+{
+    FleetTelemetry ft(2);
+    // No traffic routed anywhere: skew degenerates to 0.
+    EXPECT_DOUBLE_EQ(ft.routingSkew(), 0.0);
+    ft.replica(0).routed = 3;
+    ft.replica(1).routed = 1;
+    // Peak 3 over mean 2.
+    EXPECT_DOUBLE_EQ(ft.routingSkew(), 1.5);
+}
+
+TEST(FleetTelemetry, CacheHitVarianceIsPopulationVariance)
+{
+    FleetTelemetry ft(2);
+    // Hit rates 1.0 and 0.0: mean 0.5, population variance 0.25.
+    ft.replica(0).cache_hits = 4;
+    ft.replica(1).cache_misses = 4;
+    EXPECT_DOUBLE_EQ(ft.cacheHitVariance(), 0.25);
+    // Identical replicas: zero variance.
+    FleetTelemetry even(3);
+    for (int r = 0; r < 3; ++r) {
+        even.replica(r).cache_hits = 2;
+        even.replica(r).cache_misses = 2;
+    }
+    EXPECT_DOUBLE_EQ(even.cacheHitVariance(), 0.0);
+}
+
 TEST(LatencySample, Helpers)
 {
     const LatencySample s = sample(2, 1.0, 3.0, 7.0, 6.0);

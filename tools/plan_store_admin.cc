@@ -21,11 +21,23 @@
  *       --cap-mb (0 = uncapped). Prints what was swept and what
  *       survived.
  *
+ *   plan_store_admin quarantine DIR [--purge]
+ *       List every quarantined (.quar) file with its size and
+ *       age, oldest first — the post-incident triage view: what
+ *       did serving processes reject, and how long ago. With
+ *       --purge, delete them after listing (the targeted cleanup;
+ *       compact also removes them but evicts healthy entries
+ *       too when capped).
+ *
  * Exit status: 0 on success; verify exits 1 when any entry was
  * rejected (after quarantining it), so scripts can gate on a clean
- * store.
+ * store. quarantine exits 1 when quarantined files are present
+ * and --purge was not given, so scripts can gate on "nothing
+ * quarantined" without deleting evidence.
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -50,7 +62,9 @@ usage()
                  "usage: plan_store_admin stats   DIR\n"
                  "       plan_store_admin verify  DIR\n"
                  "       plan_store_admin compact DIR [--cap-mb N] "
-                 "[--max-age-s S]\n");
+                 "[--max-age-s S]\n"
+                 "       plan_store_admin quarantine DIR "
+                 "[--purge]\n");
     std::exit(2);
 }
 
@@ -185,6 +199,68 @@ cmdCompact(const std::string &dir, int cap_mb, double max_age_s)
     return 0;
 }
 
+int
+cmdQuarantine(const std::string &dir, bool purge)
+{
+    struct QuarFile
+    {
+        fs::path path;
+        int64_t bytes = 0;
+        fs::file_time_type mtime;
+    };
+    std::vector<QuarFile> files;
+    for (const fs::directory_entry &de : fs::directory_iterator(dir)) {
+        if (!de.is_regular_file())
+            continue;
+        const std::string name = de.path().filename().string();
+        if (name.size() < 5 ||
+            name.compare(name.size() - 5, 5, ".quar") != 0)
+            continue;
+        files.push_back({de.path(),
+                         static_cast<int64_t>(de.file_size()),
+                         de.last_write_time()});
+    }
+    std::sort(files.begin(), files.end(),
+              [](const QuarFile &a, const QuarFile &b) {
+                  return a.mtime < b.mtime;
+              });
+
+    const fs::file_time_type now = fs::file_time_type::clock::now();
+    int64_t total_bytes = 0;
+    for (const QuarFile &f : files) {
+        const double age_s =
+            std::chrono::duration<double>(now - f.mtime).count();
+        std::printf("  %-48s %10lld bytes  quarantined %.0f s "
+                    "ago\n",
+                    f.path.filename().string().c_str(),
+                    static_cast<long long>(f.bytes), age_s);
+        total_bytes += f.bytes;
+    }
+    std::printf("quarantine %s: %zu files, %lld bytes\n",
+                dir.c_str(), files.size(),
+                static_cast<long long>(total_bytes));
+    if (!purge)
+        return files.empty() ? 0 : 1;
+
+    int64_t purged = 0;
+    for (const QuarFile &f : files) {
+        std::error_code ec;
+        if (fs::remove(f.path, ec)) {
+            purged += 1;
+        } else {
+            // Surface the miss but keep purging: a file another
+            // process swept first is already gone, which is the
+            // goal; a permission error needs the operator.
+            std::printf("  UNREMOVED %s (%s)\n",
+                        f.path.filename().string().c_str(),
+                        ec.message().c_str());
+        }
+    }
+    std::printf("purged %lld of %zu quarantined files\n",
+                static_cast<long long>(purged), files.size());
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -235,6 +311,20 @@ main(int argc, char **argv)
             }
         }
         return cmdCompact(dir, cap_mb, max_age_s);
+    }
+    if (cmd == "quarantine") {
+        bool purge = false;
+        for (int i = 3; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--purge") {
+                purge = true;
+            } else {
+                s2ta_fatal("unknown argument '%s' (accepted flags: "
+                           "--purge)",
+                           arg.c_str());
+            }
+        }
+        return cmdQuarantine(dir, purge);
     }
     usage();
     return 2;
