@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "arch/accelerator.hh"
+#include "arch/backend.hh"
 #include "arch/models.hh"
 #include "arch/plan_cache.hh"
 #include "arch/plan_store.hh"
@@ -283,7 +284,9 @@ benchFlagList()
            "--model lenet5|alexnet|vgg16|mobilenetv1|resnet50, "
            "--arch s2ta-w|s2ta-aw, --reps N, --cache-mb N, "
            "--plan-store DIR, --spill-mb N, --store-cap-mb N, "
-           "--replicas N, --placement hash|least-loaded";
+           "--replicas N, --placement hash|least-loaded, "
+           "--test-backend NAME (a BackendRegistry name, e.g. "
+           "in-process|scalar-ref|remote-stub)";
 }
 
 /** Options common to every bench binary. */
@@ -324,6 +327,10 @@ struct BenchArgs
     /** Fleet placement policy ("hash" | "least-loaded"), validated
      *  against serve::placementByName's accepted set. */
     std::string placement = "least-loaded";
+    /** Device backend for benches that run through the async
+     *  command-queue API (empty = the bench's default, normally
+     *  "in-process"). Validated against BackendRegistry::names(). */
+    std::string test_backend;
     // Whether the knob was given explicitly: benches whose
     // experiment pins a knob (e.g. the engine-comparison bench
     // runs both engines by definition) must reject an explicit
@@ -338,6 +345,7 @@ struct BenchArgs
     bool store_cap_mb_given = false;
     bool replicas_given = false;
     bool placement_given = false;
+    bool test_backend_given = false;
 
     /**
      * Fatal unless flag @p name was left at its default. The error
@@ -458,6 +466,20 @@ parseBenchArgs(int argc, char **argv)
             if (a.replicas < 1)
                 s2ta_fatal("--replicas must be >= 1");
             a.replicas_given = true;
+        } else if (arg == "--test-backend") {
+            a.test_backend = value();
+            bool known = false;
+            for (const std::string &n : BackendRegistry::names())
+                known = known || n == a.test_backend;
+            if (!known) {
+                std::string names;
+                for (const std::string &n : BackendRegistry::names())
+                    names += (names.empty() ? "" : "|") + n;
+                s2ta_fatal("unknown backend '%s' (registered "
+                           "backends: %s)",
+                           a.test_backend.c_str(), names.c_str());
+            }
+            a.test_backend_given = true;
         } else if (arg == "--placement") {
             a.placement = value();
             if (a.placement != "hash" &&

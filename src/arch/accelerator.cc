@@ -98,9 +98,9 @@ Accelerator::channelAlign() const
                : 1;
 }
 
-LayerRun
-Accelerator::runLayer(const LayerWorkload &wl,
-                      const NetworkRunOptions &opt) const
+PreparedLayer
+Accelerator::prepareLayer(const LayerWorkload &wl,
+                          const NetworkRunOptions &opt) const
 {
     const bool compute_output = opt.compute_output;
     s2ta_assert(wl.shape.valid(), "invalid shape for layer '%s'",
@@ -108,11 +108,8 @@ Accelerator::runLayer(const LayerWorkload &wl,
     s2ta_assert(wl.batch >= 1, "layer '%s' batch %d",
                 wl.name.c_str(), wl.batch);
 
-    LayerRun lr;
-    lr.name = wl.name;
-    lr.batch = wl.batch;
-    lr.dense_macs = wl.shape.denseMacs() * wl.batch;
-    lr.act_nnz_used = wl.act_nnz;
+    PreparedLayer prep;
+    prep.wl = &wl;
 
     // Per-layer variable A-DBB (and the per-layer weight bound):
     // rebuild the (stateless) array model with this layer's
@@ -130,45 +127,30 @@ Accelerator::runLayer(const LayerWorkload &wl,
         acfg.weight_dbb =
             DbbSpec{std::min(wl.wgt_nnz, seg_bound), acfg.bz};
     }
-    const auto model = makeArrayModel(acfg);
-
-    // The GEMM-level options inherit the caller's engine/cache
-    // knobs; the shard pool lets a single big GEMM's tile grid fan
-    // out in row stripes even when the group fan-out is 1.
-    RunOptions gemm_opt = opt;
-    gemm_opt.shard_pool = shardPool();
-
-    if (compute_output) {
-        std::vector<int> out_shape = {wl.shape.outH(),
-                                      wl.shape.outW(),
-                                      wl.shape.out_c};
-        if (wl.batch > 1)
-            out_shape.insert(out_shape.begin(), wl.batch);
-        lr.output = Int32Tensor(out_shape, 0);
-    }
+    prep.acfg = acfg;
+    prep.model = makeArrayModel(acfg);
 
     // Each group lowers to an independent GEMM whose plan (encoding
     // + profile) is built once and reused across the whole tile
-    // grid; grouped layers fan out across the simulation threads.
-    // Events are folded in group order for bitwise determinism.
-    // With a plan cache the layer's activations lower (batched,
-    // once for all groups) and encode only on first sight; every
-    // later design point in the sweep reuses the cached plans.
+    // grid. With a plan cache the layer's activations lower
+    // (batched, once for all groups) and encode only on first
+    // sight; every later design point in the sweep reuses the
+    // cached plans.
     const int groups = wl.shape.groups;
-    std::vector<GemmRun> runs(static_cast<size_t>(groups));
-    const bool cached = opt.plan_cache != nullptr &&
-                        opt.engine != EngineKind::Scalar;
+    prep.use_cache = opt.plan_cache != nullptr &&
+                     opt.engine != EngineKind::Scalar;
     // The input fingerprint keys both the lowered plans and the
-    // DAP memo below; compute it once per layer visit.
-    const uint64_t input_hash =
-        cached ? PlanCache::hashBytes(
-                     wl.input.data(),
-                     static_cast<size_t>(wl.input.size()))
-               : 0;
-    if (cached) {
-        const auto plans = opt.plan_cache->acquireLayer(
-            layerPlanKey(wl, channelAlign(), input_hash), groups,
-            acfg.bz, compute_output,
+    // DAP memo in executePrepared; compute it once per layer visit.
+    prep.input_hash =
+        prep.use_cache
+            ? PlanCache::hashBytes(
+                  wl.input.data(),
+                  static_cast<size_t>(wl.input.size()))
+            : 0;
+    if (prep.use_cache) {
+        prep.cached = opt.plan_cache->acquireLayer(
+            layerPlanKey(wl, channelAlign(), prep.input_hash),
+            groups, acfg.bz, compute_output,
             [&] {
                 return im2colLowerAll(wl.shape, wl.input,
                                       wl.weights, channelAlign(),
@@ -178,51 +160,27 @@ Accelerator::runLayer(const LayerWorkload &wl,
                 return im2colLower(wl.shape, wl.input, wl.weights,
                                    g, channelAlign(), wl.batch);
             });
-        runIndexed(groups, [&](int64_t g) {
-            runs[static_cast<size_t>(g)] = model->run(
-                plans[static_cast<size_t>(g)]->plan, gemm_opt);
-        });
     } else {
-        const std::vector<GemmProblem> problems = im2colLowerAll(
-            wl.shape, wl.input, wl.weights, channelAlign(),
-            wl.batch);
-        runIndexed(groups, [&](int64_t g) {
-            runs[static_cast<size_t>(g)] =
-                model->run(problems[static_cast<size_t>(g)],
-                           gemm_opt);
-        });
-    }
-    for (int g = 0; g < groups; ++g) {
-        lr.events.add(runs[static_cast<size_t>(g)].events);
-        if (compute_output) {
-            scatterGemmResult(wl.shape, g,
-                              runs[static_cast<size_t>(g)].output,
-                              lr.output, wl.batch);
+        prep.problems =
+            std::make_shared<std::vector<GemmProblem>>(
+                im2colLowerAll(wl.shape, wl.input, wl.weights,
+                               channelAlign(), wl.batch));
+        if (opt.engine != EngineKind::Scalar) {
+            // Encode every group's plan on the host — the driver's
+            // "stage operands" work an async backend overlaps with
+            // device execution of earlier commands. Grouped layers
+            // fan the encode out exactly as the synchronous path
+            // fanned out the per-group runs.
+            prep.plans.resize(static_cast<size_t>(groups));
+            runIndexed(groups, [&](int64_t g) {
+                prep.plans[static_cast<size_t>(g)] =
+                    std::make_shared<const GemmPlan>(
+                        GemmPlan::build(
+                            (*prep.problems)[static_cast<size_t>(
+                                g)],
+                            acfg.bz, compute_output));
+            });
         }
-    }
-
-    // The DAP array prunes the input tensor once as it is written to
-    // the activation SRAM; its comparator activity belongs to the
-    // S2TA-AW design only (other designs have no DAP hardware). The
-    // counts depend only on (tensor content, NNZ bound) — not on
-    // the array geometry — so sweeps memoize them per layer.
-    if (acfg.kind == ArchKind::S2taAw && wl.act_nnz < acfg.bz) {
-        const auto prune = [&] {
-            Int8Tensor copy = wl.input;
-            return dapPruneTensor(copy, wl.act_nnz);
-        };
-        const DapStats ds =
-            cached ? opt.plan_cache->dapStats(
-                         PlanCache::combine(
-                             PlanCache::combine(0x444150ull,
-                                                input_hash),
-                             static_cast<uint64_t>(wl.act_nnz)),
-                         prune)
-                   : prune();
-        lr.events.dap_comparisons = ds.comparisons;
-        s2ta_assert(ds.nonzeros_dropped == 0,
-                    "layer '%s' input does not satisfy its declared "
-                    "A-DBB bound %d/8", wl.name.c_str(), wl.act_nnz);
     }
 
     // ---- DMA traffic ---------------------------------------------
@@ -277,7 +235,97 @@ Accelerator::runLayer(const LayerWorkload &wl,
         else
             act_dma = act_bytes * col_tiles;
     }
-    lr.events.dma_bytes = wgt_dma + act_dma + out_bytes;
+    prep.h2d_bytes = wgt_dma + act_dma;
+    prep.d2h_bytes = out_bytes;
+    return prep;
+}
+
+LayerRun
+Accelerator::executePrepared(const PreparedLayer &prep,
+                             const NetworkRunOptions &opt) const
+{
+    s2ta_assert(prep.wl != nullptr, "executePrepared on an empty "
+                "PreparedLayer");
+    const LayerWorkload &wl = *prep.wl;
+    const ArrayConfig &acfg = prep.acfg;
+    const bool compute_output = opt.compute_output;
+
+    LayerRun lr;
+    lr.name = wl.name;
+    lr.batch = wl.batch;
+    lr.dense_macs = wl.shape.denseMacs() * wl.batch;
+    lr.act_nnz_used = wl.act_nnz;
+
+    // The GEMM-level options inherit the caller's engine/cache
+    // knobs; the shard pool lets a single big GEMM's tile grid fan
+    // out in row stripes even when the group fan-out is 1.
+    RunOptions gemm_opt = opt;
+    gemm_opt.shard_pool = shardPool();
+
+    if (compute_output) {
+        std::vector<int> out_shape = {wl.shape.outH(),
+                                      wl.shape.outW(),
+                                      wl.shape.out_c};
+        if (wl.batch > 1)
+            out_shape.insert(out_shape.begin(), wl.batch);
+        lr.output = Int32Tensor(out_shape, 0);
+    }
+
+    // Grouped layers fan out across the simulation threads; events
+    // are folded in group order for bitwise determinism.
+    const int groups = wl.shape.groups;
+    std::vector<GemmRun> runs(static_cast<size_t>(groups));
+    runIndexed(groups, [&](int64_t g) {
+        const size_t gi = static_cast<size_t>(g);
+        if (prep.use_cache)
+            runs[gi] =
+                prep.model->run(prep.cached[gi]->plan, gemm_opt);
+        else if (!prep.plans.empty())
+            runs[gi] = prep.model->run(*prep.plans[gi], gemm_opt);
+        else
+            runs[gi] =
+                prep.model->run((*prep.problems)[gi], gemm_opt);
+    });
+    for (int g = 0; g < groups; ++g) {
+        lr.events.add(runs[static_cast<size_t>(g)].events);
+        if (compute_output) {
+            scatterGemmResult(wl.shape, g,
+                              runs[static_cast<size_t>(g)].output,
+                              lr.output, wl.batch);
+        }
+    }
+
+    // The DAP array prunes the input tensor once as it is written to
+    // the activation SRAM; its comparator activity belongs to the
+    // S2TA-AW design only (other designs have no DAP hardware). The
+    // counts depend only on (tensor content, NNZ bound) — not on
+    // the array geometry — so sweeps memoize them per layer.
+    if (acfg.kind == ArchKind::S2taAw && wl.act_nnz < acfg.bz) {
+        const auto prune = [&] {
+            Int8Tensor copy = wl.input;
+            return dapPruneTensor(copy, wl.act_nnz);
+        };
+        const DapStats ds =
+            prep.use_cache
+                ? opt.plan_cache->dapStats(
+                      PlanCache::combine(
+                          PlanCache::combine(0x444150ull,
+                                             prep.input_hash),
+                          static_cast<uint64_t>(wl.act_nnz)),
+                      prune)
+                : prune();
+        lr.events.dap_comparisons = ds.comparisons;
+        s2ta_assert(ds.nonzeros_dropped == 0,
+                    "layer '%s' input does not satisfy its declared "
+                    "A-DBB bound %d/8", wl.name.c_str(), wl.act_nnz);
+    }
+
+    // The DMA traffic was priced at prepare time (it depends only
+    // on operand geometry and the SRAM budgets); fold it into the
+    // event record here so a LayerRun stays self-contained.
+    lr.h2d_bytes = prep.h2d_bytes;
+    lr.d2h_bytes = prep.d2h_bytes;
+    lr.events.dma_bytes = prep.h2d_bytes + prep.d2h_bytes;
 
     // ---- Latency: compute vs DMA (double buffered overlap) -------
     lr.compute_cycles = lr.events.cycles;
@@ -304,6 +352,13 @@ Accelerator::runLayer(const LayerWorkload &wl,
     }
 
     return lr;
+}
+
+LayerRun
+Accelerator::runLayer(const LayerWorkload &wl,
+                      const NetworkRunOptions &opt) const
+{
+    return executePrepared(prepareLayer(wl, opt), opt);
 }
 
 AttemptFaults

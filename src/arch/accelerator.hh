@@ -22,6 +22,7 @@ namespace s2ta {
 
 class FaultInjector;
 class ThreadPool;
+struct CachedPlan;
 
 /** System-level configuration around the array. */
 struct AcceleratorConfig
@@ -150,6 +151,49 @@ struct LayerRun
      *  (outH, outW, out_c), with a leading batch dimension when
      *  the workload's batch is > 1. */
     Int32Tensor output;
+    /** Host→device operand DMA bytes (weights + activations, with
+     *  the streaming/refetch policy applied). Together with
+     *  d2h_bytes this is the buffer-residency ledger an async
+     *  device backend reconciles against:
+     *  h2d_bytes + d2h_bytes == events.dma_bytes, always. */
+    int64_t h2d_bytes = 0;
+    /** Device→host result DMA bytes (the dense output tensor). */
+    int64_t d2h_bytes = 0;
+};
+
+/**
+ * Host-side ("driver") stage of one layer, split out of runLayer so
+ * an asynchronous device backend (arch/backend.hh) can overlap it
+ * with array execution: shape checks, the per-layer tightened array
+ * config, im2col lowering, DBB encoding (or plan-cache acquisition)
+ * and the DMA-traffic pricing — everything that happens before the
+ * device is kicked. Movable; holds shared handles so cached
+ * encodings stay alive while a queued command waits to execute.
+ */
+struct PreparedLayer
+{
+    /** Borrowed workload; must outlive executePrepared(). */
+    const LayerWorkload *wl = nullptr;
+    /** Array config with this layer's tightened DBB bounds. */
+    ArrayConfig acfg;
+    /** Stateless array model built for acfg. */
+    std::shared_ptr<const ArrayModel> model;
+    /** Plan-cache handles, one per group (cached path). */
+    std::vector<std::shared_ptr<const CachedPlan>> cached;
+    /** Lowered problems owned by this command (uncached paths);
+     *  heap-held so the plans below stay valid across moves. */
+    std::shared_ptr<std::vector<GemmProblem>> problems;
+    /** Locally encoded plans over `problems` (uncached fast path;
+     *  empty on the scalar path, which encodes nothing). */
+    std::vector<std::shared_ptr<const GemmPlan>> plans;
+    /** Content fingerprint of the input tensor (cached path). */
+    uint64_t input_hash = 0;
+    /** True when `cached` (not `problems`) carries the plans. */
+    bool use_cache = false;
+    /** Operand upload / result download bytes; see
+     *  LayerRun::h2d_bytes. */
+    int64_t h2d_bytes = 0;
+    int64_t d2h_bytes = 0;
 };
 
 /** Whole-network simulation outcome. */
@@ -197,6 +241,26 @@ class Accelerator
      */
     LayerRun runLayer(const LayerWorkload &wl,
                       const NetworkRunOptions &opt) const;
+
+    /**
+     * Host-side stage of runLayer: validate, build the per-layer
+     * array model, lower and encode (or acquire from the plan
+     * cache), and price the DMA traffic. No array cycles are
+     * simulated. The returned command must be executed with the
+     * same options it was prepared with.
+     */
+    PreparedLayer prepareLayer(const LayerWorkload &wl,
+                               const NetworkRunOptions &opt) const;
+
+    /**
+     * Device-side stage of runLayer: run the array model over the
+     * prepared per-group plans and fold events, outputs and the
+     * DMA/MCU latency model. For any (wl, opt),
+     * executePrepared(prepareLayer(wl, opt), opt) is bitwise
+     * identical to runLayer(wl, opt) — it is its implementation.
+     */
+    LayerRun executePrepared(const PreparedLayer &prep,
+                             const NetworkRunOptions &opt) const;
 
     /** Convenience overload matching the original API. */
     LayerRun

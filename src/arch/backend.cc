@@ -1,0 +1,415 @@
+#include "arch/backend.hh"
+
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "base/fault_injection.hh"
+#include "base/logging.hh"
+
+namespace s2ta {
+
+namespace {
+
+/** Which engine a DeviceBackend runs and what transfer it models. */
+enum class BackendKind
+{
+    /** The configured (fast) engine, zero transfer cost. */
+    InProcess,
+    /** Forces the scalar reference engine: the differential anchor
+     *  every other backend is compared against. */
+    ScalarRef,
+    /** The fast engine plus a modeled host<->device link: a fixed
+     *  kick cost plus the command's DMA bytes over the link
+     *  bandwidth, on the virtual clock only. */
+    RemoteStub,
+};
+
+/**
+ * The one concrete backend: an Accelerator driven through a bounded
+ * command queue by a single device thread (or inline when
+ * synchronous). submit() claims a queue slot, runs the host-side
+ * prepareLayer on the calling thread, and enqueues the prepared
+ * command; the device thread pops commands in FIFO order and runs
+ * executePrepared. A completed result parks in a token-keyed map
+ * until wait() downloads it, and the queue slot frees at device
+ * completion — not at wait() — so any wait order is deadlock-free.
+ *
+ * Determinism: a command's result depends only on (workload,
+ * options, device config) — prepare and execute are const methods
+ * of a const Accelerator — so reordered waits, delayed waits, or
+ * racing submitters change timing, never bytes.
+ */
+class DeviceBackend final : public Backend
+{
+  public:
+    DeviceBackend(std::string name, BackendKind kind,
+                  const AcceleratorConfig &acfg,
+                  const BackendConfig &bcfg)
+        : name_(std::move(name)), kind_(kind), bcfg_(bcfg),
+          acc(deviceConfig(acfg, bcfg))
+    {
+        s2ta_assert(bcfg_.queue_depth >= 1, "queue depth %d",
+                    bcfg_.queue_depth);
+        s2ta_assert(bcfg_.link_bytes_per_cycle > 0.0,
+                    "link bandwidth %.3f B/cycle",
+                    bcfg_.link_bytes_per_cycle);
+        s2ta_assert(bcfg_.kick_cycles >= 0, "kick cost %lld cycles",
+                    static_cast<long long>(bcfg_.kick_cycles));
+        if (!bcfg_.synchronous)
+            device = std::thread([this] { deviceLoop(); });
+    }
+
+    ~DeviceBackend() override
+    {
+        if (device.joinable()) {
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                stopping = true;
+            }
+            cv_device.notify_all();
+            device.join();
+        }
+    }
+
+    const std::string &name() const override { return name_; }
+
+    const AcceleratorConfig &
+    config() const override
+    {
+        return acc.config();
+    }
+
+    const BackendConfig &
+    queueConfig() const override
+    {
+        return bcfg_;
+    }
+
+    Token
+    submit(const LayerWorkload &wl,
+           const NetworkRunOptions &opt) override
+    {
+        NetworkRunOptions ro = opt;
+        if (kind_ == BackendKind::ScalarRef)
+            ro.engine = EngineKind::Scalar;
+
+        Token t;
+        {
+            // Claim a queue slot *before* preparing: the depth
+            // bounds staged-operand memory, and depth 1 degrades to
+            // a fully serialized prepare -> execute pipeline.
+            std::unique_lock<std::mutex> lk(mu);
+            cv_submit.wait(lk, [&] {
+                return in_flight < bcfg_.queue_depth;
+            });
+            ++in_flight;
+            t = next_token++;
+            staged.insert(t);
+            stats_.submitted += 1;
+        }
+
+        // Host-side stage outside the lock: the im2col + encode +
+        // upload-accounting work that overlaps the device's
+        // execution of previously submitted commands.
+        Command cmd;
+        cmd.token = t;
+        cmd.opt = ro;
+        cmd.prep = acc.prepareLayer(wl, ro);
+        cmd.transfer_cycles = modeledTransferCycles(cmd.prep);
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            stats_.h2d_bytes += cmd.prep.h2d_bytes;
+            stats_.transfer_cycles += cmd.transfer_cycles;
+        }
+
+        if (bcfg_.synchronous) {
+            LayerRun run = acc.executePrepared(cmd.prep, cmd.opt);
+            complete(cmd.token, cmd.transfer_cycles,
+                     std::move(run));
+        } else {
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                queue.push_back(std::move(cmd));
+            }
+            cv_device.notify_one();
+        }
+        return t;
+    }
+
+    LayerRun
+    wait(Token t, int64_t *transfer_cycles) override
+    {
+        std::unique_lock<std::mutex> lk(mu);
+        s2ta_assert(staged.count(t) != 0 || done.count(t) != 0,
+                    "token %llu is not outstanding (never issued, "
+                    "or already waited)",
+                    static_cast<unsigned long long>(t));
+        cv_done.wait(lk, [&] { return done.count(t) != 0; });
+        auto it = done.find(t);
+        Done d = std::move(it->second);
+        done.erase(it);
+        stats_.d2h_bytes += d.run.d2h_bytes;
+        if (transfer_cycles != nullptr)
+            *transfer_cycles = d.transfer_cycles;
+        return std::move(d.run);
+    }
+
+    Residency
+    residency(Token t) const override
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        s2ta_assert(t >= 1 && t < next_token, "unknown token %llu",
+                    static_cast<unsigned long long>(t));
+        if (staged.count(t) != 0)
+            return Residency::Staged;
+        if (done.count(t) != 0)
+            return Residency::Device;
+        return Residency::Host;
+    }
+
+    BackendStats
+    stats() const override
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        return stats_;
+    }
+
+  private:
+    struct Command
+    {
+        Token token = 0;
+        NetworkRunOptions opt;
+        PreparedLayer prep;
+        int64_t transfer_cycles = 0;
+    };
+
+    struct Done
+    {
+        LayerRun run;
+        int64_t transfer_cycles = 0;
+    };
+
+    /**
+     * The device thread must never borrow the process-global thread
+     * pool: a serving scheduler holds the pool's job lock across a
+     * whole request fan-out while its lanes block in wait(), so a
+     * device-side parallelFor on the global pool would deadlock.
+     * Serialize device execution unless the caller explicitly gave
+     * the backend a dedicated pool (sim_threads > 1). Synchronous
+     * mode executes on the submitting thread, exactly like the bare
+     * Accelerator, so it keeps the caller's pool choice.
+     */
+    static AcceleratorConfig
+    deviceConfig(AcceleratorConfig acfg, const BackendConfig &bcfg)
+    {
+        if (!bcfg.synchronous && acfg.sim_threads == 0)
+            acfg.sim_threads = 1;
+        return acfg;
+    }
+
+    /** Closed-form link cost of one command (virtual clock only):
+     *  recomputable by tests from the command's DMA bytes. */
+    int64_t
+    modeledTransferCycles(const PreparedLayer &prep) const
+    {
+        if (kind_ != BackendKind::RemoteStub)
+            return 0;
+        const double bytes =
+            static_cast<double>(prep.h2d_bytes + prep.d2h_bytes);
+        return bcfg_.kick_cycles +
+               static_cast<int64_t>(
+                   std::ceil(bytes / bcfg_.link_bytes_per_cycle));
+    }
+
+    /** Park a finished result and free its queue slot. */
+    void
+    complete(Token t, int64_t transfer_cycles, LayerRun run)
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            Done d;
+            d.run = std::move(run);
+            d.transfer_cycles = transfer_cycles;
+            staged.erase(t);
+            done.emplace(t, std::move(d));
+            stats_.completed += 1;
+            --in_flight;
+        }
+        cv_submit.notify_all();
+        cv_done.notify_all();
+    }
+
+    void
+    deviceLoop()
+    {
+        std::unique_lock<std::mutex> lk(mu);
+        for (;;) {
+            cv_device.wait(lk, [&] {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty())
+                return; // stopping, and fully drained
+            Command cmd = std::move(queue.front());
+            queue.pop_front();
+            lk.unlock();
+            LayerRun run = acc.executePrepared(cmd.prep, cmd.opt);
+            complete(cmd.token, cmd.transfer_cycles,
+                     std::move(run));
+            lk.lock();
+        }
+    }
+
+    const std::string name_;
+    const BackendKind kind_;
+    const BackendConfig bcfg_;
+    const Accelerator acc;
+
+    mutable std::mutex mu;
+    std::condition_variable cv_submit;
+    std::condition_variable cv_done;
+    std::condition_variable cv_device;
+    std::deque<Command> queue;
+    /** Pending (queued or executing) tokens: Residency::Staged. */
+    std::set<Token> staged;
+    /** Completed, not yet waited results: Residency::Device. */
+    std::map<Token, Done> done;
+    BackendStats stats_;
+    Token next_token = 1;
+    int in_flight = 0;
+    bool stopping = false;
+    std::thread device;
+};
+
+using FactoryMap = std::map<std::string, BackendRegistry::Factory>;
+
+std::mutex &
+registryMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+FactoryMap &
+registryMap()
+{
+    static FactoryMap map = [] {
+        FactoryMap m;
+        const auto builtin = [&m](const char *name,
+                                  BackendKind kind) {
+            m.emplace(
+                name,
+                [name, kind](const AcceleratorConfig &acfg,
+                             const BackendConfig &bcfg) {
+                    return std::unique_ptr<Backend>(
+                        new DeviceBackend(name, kind, acfg, bcfg));
+                });
+        };
+        builtin("in-process", BackendKind::InProcess);
+        builtin("scalar-ref", BackendKind::ScalarRef);
+        builtin("remote-stub", BackendKind::RemoteStub);
+        return m;
+    }();
+    return map;
+}
+
+} // anonymous namespace
+
+BackendNetworkRun
+Backend::runNetworkTimed(const std::vector<LayerWorkload> &layers,
+                         const NetworkRunOptions &opt)
+{
+    // Evaluate every per-layer fault site up front, exactly as
+    // Accelerator::runNetwork: the injector's site order — and so
+    // its exact counters — must not depend on which execution path
+    // carried the attempt, and a faulted attempt aborts before any
+    // command is staged.
+    BackendNetworkRun out;
+    if (opt.fault != nullptr) {
+        const AttemptFaults af = evaluateAttemptFaults(
+            *opt.fault, opt.fault_id, layers.size());
+        out.run.fault_layer = af.fault_layer;
+        out.run.fault_count = af.fault_count;
+        out.run.stall_events = af.stall_events;
+        out.run.stall_cycles = af.stall_cycles;
+        if (out.run.faulted())
+            return out;
+    }
+
+    // Submit in layer order (the queue overlaps prepare k+1 with
+    // execute k), wait in layer order, fold in layer order: the
+    // totals are bitwise identical to the serial Accelerator.
+    std::vector<Token> tokens;
+    tokens.reserve(layers.size());
+    for (const LayerWorkload &wl : layers)
+        tokens.push_back(submit(wl, opt));
+    for (Token t : tokens) {
+        int64_t tc = 0;
+        LayerRun lr = wait(t, &tc);
+        out.transfer_cycles += tc;
+        out.h2d_bytes += lr.h2d_bytes;
+        out.d2h_bytes += lr.d2h_bytes;
+        out.run.add(std::move(lr));
+    }
+    return out;
+}
+
+void
+BackendRegistry::add(const std::string &name, Factory factory)
+{
+    s2ta_assert(!name.empty(), "empty backend name");
+    s2ta_assert(factory != nullptr, "null factory for backend '%s'",
+                name.c_str());
+    std::lock_guard<std::mutex> lk(registryMutex());
+    registryMap()[name] = std::move(factory);
+}
+
+std::vector<std::string>
+BackendRegistry::names()
+{
+    std::lock_guard<std::mutex> lk(registryMutex());
+    std::vector<std::string> out;
+    out.reserve(registryMap().size());
+    for (const auto &kv : registryMap())
+        out.push_back(kv.first);
+    return out; // std::map iterates sorted
+}
+
+std::unique_ptr<Backend>
+BackendRegistry::make(const std::string &name,
+                      const AcceleratorConfig &acfg,
+                      const BackendConfig &bcfg)
+{
+    Factory factory;
+    {
+        std::lock_guard<std::mutex> lk(registryMutex());
+        const auto it = registryMap().find(name);
+        if (it == registryMap().end()) {
+            std::string known;
+            for (const auto &kv : registryMap()) {
+                if (!known.empty())
+                    known += ", ";
+                known += kv.first;
+            }
+            s2ta_fatal("unknown backend '%s' (registered: %s)",
+                       name.c_str(), known.c_str());
+        }
+        factory = it->second;
+    }
+    // Run the (possibly user-supplied) factory outside the lock.
+    return factory(acfg, bcfg);
+}
+
+std::unique_ptr<Backend>
+makeBackend(const std::string &name, const AcceleratorConfig &acfg,
+            const BackendConfig &bcfg)
+{
+    return BackendRegistry::make(name, acfg, bcfg);
+}
+
+} // namespace s2ta

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Asynchronous device-backend abstraction: the driver-shaped seam
+ * between the host (im2col lowering, DBB encoding, operand staging)
+ * and the simulated accelerator (the array model). Real accelerator
+ * drivers run configure → DMA operands in → kick → poll → DMA
+ * results out, with double buffering hiding transfer behind
+ * compute; this interface reproduces that shape so the host can
+ * lower and encode layer k+1 while the device executes layer k.
+ *
+ * submit() stages one layer command and returns a completion token;
+ * wait() blocks on the token and downloads the result. Commands
+ * flow through a bounded queue (BackendConfig::queue_depth), which
+ * is both the overlap window and the QoS knob the serving
+ * schedulers consume. Buffers move through explicit residency
+ * states (Staged → Device → Host) whose byte counts reconcile
+ * exactly with the synchronous accelerator's DMA events.
+ *
+ * Three backends ship via BackendRegistry: "in-process" (the fast
+ * DBB engine), "scalar-ref" (the scalar reference engine — the
+ * differential anchor), and "remote-stub" (the fast engine plus
+ * modeled link-transfer latency on the virtual clock). Results are
+ * bitwise identical across all three and to the synchronous
+ * Accelerator — the remote stub's transfer cost is timing-only
+ * metadata, never part of the NetworkRun. New backends plug into
+ * the conformance suite (tests/arch/test_backend_conformance.cc)
+ * by registration, not by copying tests.
+ */
+
+#ifndef S2TA_ARCH_BACKEND_HH
+#define S2TA_ARCH_BACKEND_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.hh"
+
+namespace s2ta {
+
+/**
+ * Residency of one submitted command's buffers, mirroring the DMA
+ * ledger: Staged means the operands are uploaded (h2d bytes
+ * counted) and the command is queued or executing; Device means the
+ * result exists in device memory but has not been downloaded; Host
+ * means wait() has downloaded it (d2h bytes counted).
+ */
+enum class Residency
+{
+    Staged,
+    Device,
+    Host,
+};
+
+/** Command-queue shape and transfer model of one backend. */
+struct BackendConfig
+{
+    /**
+     * Bounded queue depth: submit() blocks while this many commands
+     * are staged or executing (completed-but-unwaited results do
+     * not occupy a slot, so tokens may be waited in any order
+     * without deadlock). Depth 1 serializes prepare and execute —
+     * no overlap; depth >= 2 lets the host prepare layer k+1 while
+     * the device runs layer k. This is the knob the QoS model
+     * consumes.
+     */
+    int queue_depth = 2;
+    /**
+     * Run every command inline on the submitting thread (no device
+     * thread): the synchronous reference mode the async pipeline is
+     * differentially tested and benchmarked against.
+     */
+    bool synchronous = false;
+    /** Remote-stub link bandwidth, payload bytes per array cycle
+     *  (virtual-clock model only; ignored by local backends). */
+    double link_bytes_per_cycle = 32.0;
+    /** Remote-stub fixed per-command cost (doorbell + descriptor
+     *  round trip) in array cycles. */
+    int64_t kick_cycles = 64;
+};
+
+/**
+ * Deterministic backend counters. Every field is a commutative sum
+ * over commands, so the totals are identical for any submission or
+ * completion interleaving; once all issued tokens are waited,
+ * h2d_bytes + d2h_bytes equals the sum of the completed runs'
+ * events.dma_bytes.
+ */
+struct BackendStats
+{
+    int64_t submitted = 0;
+    int64_t completed = 0;
+    /** Operand bytes uploaded by submit() (counted when staged). */
+    int64_t h2d_bytes = 0;
+    /** Result bytes downloaded by wait(). */
+    int64_t d2h_bytes = 0;
+    /** Modeled link-transfer cycles (remote stub; 0 locally). */
+    int64_t transfer_cycles = 0;
+};
+
+/**
+ * One whole-network pass through a backend: the functional /
+ * event-level result (bitwise identical across backends) plus the
+ * pass's modeled transfer cost, which is virtual-timing metadata
+ * the serving schedulers fold into latency — deliberately kept out
+ * of `run` so remote and local backends stay bit-for-bit equal.
+ */
+struct BackendNetworkRun
+{
+    NetworkRun run;
+    int64_t transfer_cycles = 0;
+    int64_t h2d_bytes = 0;
+    int64_t d2h_bytes = 0;
+};
+
+/**
+ * Async command-queue interface over one simulated device. All
+ * entry points are thread-safe; determinism is the implementation's
+ * contract (results depend only on the command, never on timing).
+ */
+class Backend
+{
+  public:
+    /** Completion token of one submitted command (never 0). */
+    using Token = uint64_t;
+
+    virtual ~Backend() = default;
+
+    /** Registry name ("in-process", "scalar-ref", "remote-stub"). */
+    virtual const std::string &name() const = 0;
+    /** Device configuration the backend simulates. */
+    virtual const AcceleratorConfig &config() const = 0;
+    /** Queue shape / transfer model. */
+    virtual const BackendConfig &queueConfig() const = 0;
+
+    /**
+     * Stage one layer command: the host-side prepare (im2col +
+     * encode + operand-upload accounting) runs on the calling
+     * thread, then the command enters the bounded device queue.
+     * Blocks while queue_depth commands are in flight. @p wl must
+     * stay alive until the returned token is waited.
+     */
+    virtual Token submit(const LayerWorkload &wl,
+                         const NetworkRunOptions &opt) = 0;
+
+    /**
+     * Block until @p t completes and download its result.
+     * @p transfer_cycles, when non-null, receives the command's
+     * modeled link cycles. Each token is waitable exactly once;
+     * tokens may be waited in any order — results are keyed by
+     * token, never reordered by completion timing.
+     */
+    virtual LayerRun wait(Token t,
+                          int64_t *transfer_cycles = nullptr) = 0;
+
+    /** Buffer-residency state of @p t's command. */
+    virtual Residency residency(Token t) const = 0;
+
+    /** Snapshot of the deterministic counters. */
+    virtual BackendStats stats() const = 0;
+
+    /**
+     * Run a whole network through the command queue: evaluate the
+     * attempt's fault sites up front (exactly as
+     * Accelerator::runNetwork — a faulted attempt aborts before
+     * anything is submitted), then submit every layer in order and
+     * wait in order, folding results in layer order. Bitwise
+     * identical to the synchronous Accelerator at any queue depth
+     * or thread count; prepare of layer k+1 overlaps execution of
+     * layer k whenever queue_depth >= 2.
+     */
+    BackendNetworkRun
+    runNetworkTimed(const std::vector<LayerWorkload> &layers,
+                    const NetworkRunOptions &opt);
+
+    /** runNetworkTimed without the transfer metadata. */
+    NetworkRun
+    runNetwork(const std::vector<LayerWorkload> &layers,
+               const NetworkRunOptions &opt)
+    {
+        return std::move(runNetworkTimed(layers, opt).run);
+    }
+};
+
+/**
+ * Name → factory registry. The conformance suite instantiates every
+ * registered backend through the same differential property tests,
+ * so a new backend earns coverage by calling add() (e.g. from its
+ * translation unit or a test fixture) — no test code is copied.
+ */
+class BackendRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<Backend>(
+        const AcceleratorConfig &, const BackendConfig &)>;
+
+    /** Register (or replace) a named factory. Thread-safe. */
+    static void add(const std::string &name, Factory factory);
+
+    /** Registered names, sorted for deterministic iteration. */
+    static std::vector<std::string> names();
+
+    /** Instantiate a registered backend; fatal on unknown name. */
+    static std::unique_ptr<Backend>
+    make(const std::string &name, const AcceleratorConfig &acfg,
+         const BackendConfig &bcfg = BackendConfig{});
+};
+
+/** Shorthand for BackendRegistry::make. */
+std::unique_ptr<Backend>
+makeBackend(const std::string &name, const AcceleratorConfig &acfg,
+            const BackendConfig &bcfg = BackendConfig{});
+
+} // namespace s2ta
+
+#endif // S2TA_ARCH_BACKEND_HH

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Differential conformance suite over every registered device
+ * backend (see tests/arch/backend_conformance.hh for the shared
+ * fixture and the registration recipe): randomized layer shapes,
+ * queue depths, submission orders and adversarial completion
+ * interleavings must all produce NetworkRuns bitwise identical to
+ * the synchronous Accelerator, with the DMA/residency/transfer
+ * counters reconciling exactly, at any device thread count.
+ */
+
+#include "backend_conformance.hh"
+
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+namespace s2ta {
+namespace {
+
+using conformance::deviceConfig;
+using conformance::expectSameLayer;
+using conformance::expectSameRun;
+using conformance::expectStatsReconcile;
+using conformance::randomNetwork;
+using conformance::referenceRun;
+using conformance::runOptions;
+
+// The registration recipe under test: a backend plugs into the
+// whole suite by adding a factory — "conformance-mirror" simply
+// wraps the in-process backend under a new name, and every TEST_P
+// below runs against it with zero additional test code.
+const bool kMirrorRegistered = [] {
+    BackendRegistry::add(
+        "conformance-mirror",
+        [](const AcceleratorConfig &acfg, const BackendConfig &bcfg) {
+            return makeBackend("in-process", acfg, bcfg);
+        });
+    return true;
+}();
+
+class BackendConformance
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(BackendConformance, MatchesSynchronousAcceleratorAtEveryQueueDepth)
+{
+    const auto layers = randomNetwork(0xBAC0, 4);
+    const NetworkRun ref = referenceRun(layers);
+    for (const int depth : {1, 2, 4}) {
+        BackendConfig bcfg;
+        bcfg.queue_depth = depth;
+        const auto be =
+            makeBackend(GetParam(), deviceConfig(), bcfg);
+        BackendNetworkRun got =
+            be->runNetworkTimed(layers, runOptions());
+        expectSameRun(got.run, ref,
+                      ("depth " + std::to_string(depth)).c_str());
+        expectStatsReconcile(*be, got);
+    }
+}
+
+TEST_P(BackendConformance, SynchronousModeIsBitwiseIdenticalToAsync)
+{
+    const auto layers = randomNetwork(0xBAC1, 3);
+    BackendConfig sync;
+    sync.synchronous = true;
+    const auto sync_be =
+        makeBackend(GetParam(), deviceConfig(), sync);
+    const auto async_be = makeBackend(GetParam(), deviceConfig());
+    const BackendNetworkRun a =
+        sync_be->runNetworkTimed(layers, runOptions());
+    const BackendNetworkRun b =
+        async_be->runNetworkTimed(layers, runOptions());
+    expectSameRun(a.run, b.run, "sync vs async");
+    EXPECT_EQ(a.transfer_cycles, b.transfer_cycles);
+    EXPECT_EQ(a.h2d_bytes, b.h2d_bytes);
+    EXPECT_EQ(a.d2h_bytes, b.d2h_bytes);
+}
+
+TEST_P(BackendConformance, DeterministicAtAnyDeviceThreadCount)
+{
+    const auto layers = randomNetwork(0xBAC2, 4);
+    const NetworkRun ref = referenceRun(layers);
+    // sim_threads > 1 gives the device its own dedicated pool; the
+    // backend must stay bitwise identical either way.
+    for (const int threads : {1, 4}) {
+        const auto be =
+            makeBackend(GetParam(), deviceConfig(threads));
+        const NetworkRun got = be->runNetwork(layers, runOptions());
+        expectSameRun(
+            got, ref,
+            ("sim_threads " + std::to_string(threads)).c_str());
+    }
+}
+
+TEST_P(BackendConformance, RandomizedShapesSweepAgainstReference)
+{
+    // Fresh random networks per round: odd strides, padding,
+    // grouped/depthwise layers, batches — every backend must track
+    // the reference bit for bit on all of them.
+    for (uint64_t round = 0; round < 4; ++round) {
+        const auto layers = randomNetwork(0x5A00 + round, 3);
+        const NetworkRun ref = referenceRun(layers);
+        const auto be = makeBackend(GetParam(), deviceConfig());
+        const NetworkRun got = be->runNetwork(layers, runOptions());
+        expectSameRun(
+            got, ref,
+            ("round " + std::to_string(round)).c_str());
+    }
+}
+
+TEST_P(BackendConformance, TokensWaitableInAnyOrder)
+{
+    const auto layers = randomNetwork(0xBAC3, 5);
+    const NetworkRun ref = referenceRun(layers);
+    const NetworkRunOptions opt = runOptions();
+
+    // Waits run in a seeded shuffled order; results must land by
+    // token, never by completion timing. Depth 3 keeps submission
+    // itself overlapped while all five tokens stay outstanding.
+    Rng rng(0xF00D);
+    BackendConfig bcfg;
+    bcfg.queue_depth = 3;
+    const auto be = makeBackend(GetParam(), deviceConfig(), bcfg);
+    std::vector<Backend::Token> tokens;
+    for (const LayerWorkload &wl : layers)
+        tokens.push_back(be->submit(wl, opt));
+
+    std::vector<size_t> order(tokens.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    for (size_t i = order.size(); i > 1; --i) {
+        const size_t j =
+            static_cast<size_t>(rng.uniformInt(0, i - 1));
+        std::swap(order[i - 1], order[j]);
+    }
+
+    std::vector<LayerRun> got(tokens.size());
+    for (const size_t i : order) {
+        EXPECT_NE(be->residency(tokens[i]), Residency::Host);
+        got[i] = be->wait(tokens[i]);
+        EXPECT_EQ(be->residency(tokens[i]), Residency::Host);
+    }
+    for (size_t i = 0; i < got.size(); ++i)
+        expectSameLayer(got[i], ref.layers[i], "shuffled wait");
+}
+
+TEST_P(BackendConformance, ResidencyLedgerTracksTheCommand)
+{
+    const auto layers = randomNetwork(0xBAC4, 1);
+    const NetworkRunOptions opt = runOptions();
+    const auto be = makeBackend(GetParam(), deviceConfig());
+
+    const Backend::Token t = be->submit(layers[0], opt);
+    // Between submit and wait the command is Staged (queued or
+    // executing) or already Device (complete, undownloaded) —
+    // never Host.
+    const Residency before = be->residency(t);
+    EXPECT_TRUE(before == Residency::Staged ||
+                before == Residency::Device);
+    const BackendStats mid = be->stats();
+    EXPECT_EQ(mid.submitted, 1);
+    EXPECT_EQ(mid.d2h_bytes, 0) << "download before wait()";
+
+    int64_t tc = -1;
+    const LayerRun lr = be->wait(t, &tc);
+    EXPECT_EQ(be->residency(t), Residency::Host);
+    const BackendStats after = be->stats();
+    EXPECT_EQ(after.completed, 1);
+    EXPECT_EQ(after.h2d_bytes, lr.h2d_bytes);
+    EXPECT_EQ(after.d2h_bytes, lr.d2h_bytes);
+    EXPECT_EQ(after.transfer_cycles, tc);
+    EXPECT_EQ(lr.h2d_bytes + lr.d2h_bytes, lr.events.dma_bytes);
+}
+
+TEST_P(BackendConformance, TransferModelIsClosedFormOnTheVirtualClock)
+{
+    const auto layers = randomNetwork(0xBAC5, 3);
+    BackendConfig bcfg;
+    bcfg.link_bytes_per_cycle = 48.0;
+    bcfg.kick_cycles = 100;
+    const auto be = makeBackend(GetParam(), deviceConfig(), bcfg);
+    const BackendNetworkRun got =
+        be->runNetworkTimed(layers, runOptions());
+
+    if (GetParam() == "remote-stub") {
+        // kick + ceil(bytes / bandwidth), per command, recomputable
+        // from the run's own residency ledger.
+        int64_t want = 0;
+        for (const LayerRun &lr : got.run.layers) {
+            want += bcfg.kick_cycles +
+                    static_cast<int64_t>(std::ceil(
+                        static_cast<double>(lr.h2d_bytes +
+                                            lr.d2h_bytes) /
+                        bcfg.link_bytes_per_cycle));
+        }
+        EXPECT_EQ(got.transfer_cycles, want);
+        EXPECT_GT(got.transfer_cycles, 0);
+    } else {
+        EXPECT_EQ(got.transfer_cycles, 0)
+            << "local backends model no link";
+    }
+    // Transfer is timing-only metadata: the run itself must still
+    // match the reference exactly.
+    expectSameRun(got.run, referenceRun(layers), "transfer model");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredBackends, BackendConformance,
+    ::testing::ValuesIn(BackendRegistry::names()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(BackendRegistry, BuiltinsAndTestBackendsAreRegistered)
+{
+    ASSERT_TRUE(kMirrorRegistered);
+    const auto names = BackendRegistry::names();
+    for (const char *want :
+         {"conformance-mirror", "in-process", "remote-stub",
+          "scalar-ref"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), want),
+                  names.end())
+            << want;
+    }
+    // names() is sorted: the suite's parameterization is
+    // deterministic.
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+// ---- Satellite: completion-interleaving stress -------------------
+//
+// Drive the async queue with seeded adversarial schedules —
+// reordered waits, delayed (poll-until-complete) waits, bursty
+// submissions — and assert both the results and the telemetry are
+// bitwise identical to plain in-order completion.
+
+struct DrainedNetwork
+{
+    std::vector<LayerRun> layers;
+    BackendStats stats;
+};
+
+DrainedNetwork
+drainInOrder(const std::vector<LayerWorkload> &layers,
+             const BackendConfig &bcfg)
+{
+    const auto be = makeBackend("in-process", deviceConfig(), bcfg);
+    DrainedNetwork out;
+    std::vector<Backend::Token> tokens;
+    for (const LayerWorkload &wl : layers)
+        tokens.push_back(be->submit(wl, runOptions()));
+    for (const Backend::Token t : tokens)
+        out.layers.push_back(be->wait(t));
+    out.stats = be->stats();
+    return out;
+}
+
+DrainedNetwork
+drainAdversarial(const std::vector<LayerWorkload> &layers,
+                 const BackendConfig &bcfg, uint64_t seed)
+{
+    const auto be = makeBackend("in-process", deviceConfig(), bcfg);
+    Rng rng(seed);
+    DrainedNetwork out;
+    out.layers.resize(layers.size());
+
+    std::vector<Backend::Token> tokens(layers.size(), 0);
+    std::vector<size_t> outstanding;
+    size_t next = 0;
+    while (next < layers.size() || !outstanding.empty()) {
+        // Bursty submission: push a random-length burst (bounded by
+        // what the queue accepts without parking this thread
+        // forever — submit itself may block, which is part of the
+        // contract under test).
+        const size_t burst = std::min(
+            layers.size() - next,
+            static_cast<size_t>(rng.uniformInt(0, 3)));
+        for (size_t b = 0; b < burst; ++b, ++next) {
+            tokens[next] = be->submit(layers[next], runOptions());
+            outstanding.push_back(next);
+        }
+        if (outstanding.empty())
+            continue;
+
+        // Reordered completion: pick a random outstanding token.
+        const size_t pick = static_cast<size_t>(
+            rng.uniformInt(0, outstanding.size() - 1));
+        const size_t idx = outstanding[pick];
+        outstanding.erase(outstanding.begin() +
+                          static_cast<long>(pick));
+
+        if (rng.uniformInt(0, 2) == 0) {
+            // Delayed completion: let the device finish on its own
+            // (poll the residency ledger) before downloading, so
+            // the result sits parked in device memory for a while.
+            while (be->residency(tokens[idx]) == Residency::Staged)
+                std::this_thread::yield();
+            EXPECT_EQ(be->residency(tokens[idx]), Residency::Device);
+        }
+        out.layers[idx] = be->wait(tokens[idx]);
+    }
+    out.stats = be->stats();
+    return out;
+}
+
+TEST(BackendInterleavingStress, AdversarialSchedulesAreBitwiseIdentical)
+{
+    const auto layers = randomNetwork(0x57E5, 8);
+    BackendConfig bcfg;
+    bcfg.queue_depth = 3;
+    const DrainedNetwork base = drainInOrder(layers, bcfg);
+    ASSERT_EQ(base.layers.size(), layers.size());
+
+    for (uint64_t round = 0; round < 6; ++round) {
+        const DrainedNetwork adv =
+            drainAdversarial(layers, bcfg, 0xD15C0 + round);
+        const std::string what =
+            "adversarial round " + std::to_string(round);
+        ASSERT_EQ(adv.layers.size(), base.layers.size());
+        for (size_t i = 0; i < base.layers.size(); ++i)
+            expectSameLayer(adv.layers[i], base.layers[i],
+                            what.c_str());
+        // Telemetry: every counter is a commutative sum over
+        // commands, so the interleaving must not show up in it.
+        EXPECT_EQ(adv.stats.submitted, base.stats.submitted);
+        EXPECT_EQ(adv.stats.completed, base.stats.completed);
+        EXPECT_EQ(adv.stats.h2d_bytes, base.stats.h2d_bytes);
+        EXPECT_EQ(adv.stats.d2h_bytes, base.stats.d2h_bytes);
+        EXPECT_EQ(adv.stats.transfer_cycles,
+                  base.stats.transfer_cycles);
+    }
+}
+
+TEST(BackendInterleavingStress, RemoteStubTelemetrySurvivesReordering)
+{
+    // Same property where transfer cycles are non-zero: the
+    // remote stub's per-command link modeling must be completion-
+    // order independent too.
+    const auto layers = randomNetwork(0x57E6, 6);
+    BackendConfig bcfg;
+    bcfg.queue_depth = 2;
+
+    const auto in_order =
+        makeBackend("remote-stub", deviceConfig(), bcfg);
+    std::vector<Backend::Token> tokens;
+    for (const LayerWorkload &wl : layers)
+        tokens.push_back(in_order->submit(wl, runOptions()));
+    std::vector<LayerRun> base;
+    int64_t base_tc = 0;
+    for (const Backend::Token t : tokens) {
+        int64_t tc = 0;
+        base.push_back(in_order->wait(t, &tc));
+        base_tc += tc;
+    }
+
+    const auto reordered =
+        makeBackend("remote-stub", deviceConfig(), bcfg);
+    std::vector<Backend::Token> tk2;
+    for (const LayerWorkload &wl : layers)
+        tk2.push_back(reordered->submit(wl, runOptions()));
+    int64_t adv_tc = 0;
+    for (size_t i = tk2.size(); i > 0; --i) { // reverse order
+        int64_t tc = 0;
+        const LayerRun lr = reordered->wait(tk2[i - 1], &tc);
+        adv_tc += tc;
+        expectSameLayer(lr, base[i - 1], "reverse wait");
+    }
+    EXPECT_EQ(adv_tc, base_tc);
+    EXPECT_EQ(reordered->stats().transfer_cycles,
+              in_order->stats().transfer_cycles);
+}
+
+} // anonymous namespace
+} // namespace s2ta
