@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -27,6 +28,8 @@
 #include "core/dap.hh"
 #include "core/weight_pruner.hh"
 #include "energy/energy_model.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "workload/model_workloads.hh"
 #include "workload/sparse_gen.hh"
 
@@ -286,7 +289,8 @@ benchFlagList()
            "--plan-store DIR, --spill-mb N, --store-cap-mb N, "
            "--replicas N, --placement hash|least-loaded, "
            "--test-backend NAME (a BackendRegistry name, e.g. "
-           "in-process|scalar-ref|remote-stub)";
+           "in-process|scalar-ref|remote-stub), "
+           "--trace-out PATH, --metrics-out PATH";
 }
 
 /** Options common to every bench binary. */
@@ -331,6 +335,14 @@ struct BenchArgs
      *  command-queue API (empty = the bench's default, normally
      *  "in-process"). Validated against BackendRegistry::names(). */
     std::string test_backend;
+    /** Chrome trace-event JSON output path (empty = tracing stays
+     *  disabled). Given, the global Tracer records for the whole
+     *  run and the trace is written at process exit — any bench
+     *  emits a trace with no code changes (docs/OBSERVABILITY.md). */
+    std::string trace_out;
+    /** MetricsRegistry JSON snapshot path, written at process exit
+     *  (empty = none). */
+    std::string metrics_out;
     // Whether the knob was given explicitly: benches whose
     // experiment pins a knob (e.g. the engine-comparison bench
     // runs both engines by definition) must reject an explicit
@@ -365,6 +377,63 @@ struct BenchArgs
         }
     }
 };
+
+namespace detail {
+
+/** atexit state for --trace-out / --metrics-out (atexit handlers
+ *  cannot capture, so the paths live in statics). */
+inline std::string &
+obsTracePath()
+{
+    static std::string path;
+    return path;
+}
+
+inline std::string &
+obsMetricsPath()
+{
+    static std::string path;
+    return path;
+}
+
+inline void
+writeObsOutputs()
+{
+    if (!obsTracePath().empty()) {
+        obs::Tracer::global().writeChromeTrace(obsTracePath());
+        std::printf("wrote %s\n", obsTracePath().c_str());
+    }
+    if (!obsMetricsPath().empty()) {
+        obs::MetricsRegistry::global().writeJson(obsMetricsPath());
+        std::printf("wrote %s\n", obsMetricsPath().c_str());
+    }
+}
+
+} // namespace detail
+
+/**
+ * Arm --trace-out / --metrics-out: enable the global Tracer when a
+ * trace was requested and register one atexit writer that dumps the
+ * Chrome trace and/or the metrics snapshot when the bench exits
+ * (including s2ta_fatal exits — a partial trace of a failed run is
+ * exactly what you want to look at). parseBenchArgs calls this, so
+ * every bench built on it supports the flag pair automatically.
+ */
+inline void
+installObsOutputs(const BenchArgs &a)
+{
+    detail::obsTracePath() = a.trace_out;
+    detail::obsMetricsPath() = a.metrics_out;
+    if (!a.trace_out.empty())
+        obs::Tracer::global().setEnabled(true);
+    if (a.trace_out.empty() && a.metrics_out.empty())
+        return;
+    static bool registered = false;
+    if (!registered) {
+        registered = true;
+        std::atexit(detail::writeObsOutputs);
+    }
+}
 
 /**
  * Parse the shared flags (see benchFlagList for the set and the
@@ -489,11 +558,20 @@ parseBenchArgs(int argc, char **argv)
                            a.placement.c_str());
             }
             a.placement_given = true;
+        } else if (arg == "--trace-out") {
+            a.trace_out = value();
+            if (a.trace_out.empty())
+                s2ta_fatal("--trace-out needs a path");
+        } else if (arg == "--metrics-out") {
+            a.metrics_out = value();
+            if (a.metrics_out.empty())
+                s2ta_fatal("--metrics-out needs a path");
         } else {
             s2ta_fatal("unknown argument '%s' (accepted flags: %s)",
                        arg.c_str(), benchFlagList());
         }
     }
+    installObsOutputs(a);
     return a;
 }
 

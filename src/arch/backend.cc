@@ -11,6 +11,8 @@
 
 #include "base/fault_injection.hh"
 #include "base/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace s2ta {
 
@@ -95,11 +97,13 @@ class DeviceBackend final : public Backend
     submit(const LayerWorkload &wl,
            const NetworkRunOptions &opt) override
     {
+        S2TA_TRACE_SPAN("backend", "submit");
         NetworkRunOptions ro = opt;
         if (kind_ == BackendKind::ScalarRef)
             ro.engine = EngineKind::Scalar;
 
         Token t;
+        [[maybe_unused]] int queued; // only the trace hook reads it
         {
             // Claim a queue slot *before* preparing: the depth
             // bounds staged-operand memory, and depth 1 degrades to
@@ -109,10 +113,14 @@ class DeviceBackend final : public Backend
                 return in_flight < bcfg_.queue_depth;
             });
             ++in_flight;
+            queued = in_flight;
             t = next_token++;
             staged.insert(t);
             stats_.submitted += 1;
         }
+        S2TA_TRACE_COUNTER("backend", "backend.queue_depth",
+                           queued);
+        S2TA_METRIC_INC("backend.submitted");
 
         // Host-side stage outside the lock: the im2col + encode +
         // upload-accounting work that overlaps the device's
@@ -120,8 +128,12 @@ class DeviceBackend final : public Backend
         Command cmd;
         cmd.token = t;
         cmd.opt = ro;
-        cmd.prep = acc.prepareLayer(wl, ro);
+        {
+            S2TA_TRACE_SPAN_ID("backend", "prepare", t);
+            cmd.prep = acc.prepareLayer(wl, ro);
+        }
         cmd.transfer_cycles = modeledTransferCycles(cmd.prep);
+        S2TA_METRIC_ADD("backend.h2d_bytes", cmd.prep.h2d_bytes);
         {
             std::lock_guard<std::mutex> lk(mu);
             stats_.h2d_bytes += cmd.prep.h2d_bytes;
@@ -129,7 +141,11 @@ class DeviceBackend final : public Backend
         }
 
         if (bcfg_.synchronous) {
-            LayerRun run = acc.executePrepared(cmd.prep, cmd.opt);
+            LayerRun run;
+            {
+                S2TA_TRACE_SPAN_ID("backend", "execute", cmd.token);
+                run = acc.executePrepared(cmd.prep, cmd.opt);
+            }
             complete(cmd.token, cmd.transfer_cycles,
                      std::move(run));
         } else {
@@ -145,6 +161,7 @@ class DeviceBackend final : public Backend
     LayerRun
     wait(Token t, int64_t *transfer_cycles) override
     {
+        S2TA_TRACE_SPAN_ID("backend", "wait", t);
         std::unique_lock<std::mutex> lk(mu);
         s2ta_assert(staged.count(t) != 0 || done.count(t) != 0,
                     "token %llu is not outstanding (never issued, "
@@ -155,6 +172,7 @@ class DeviceBackend final : public Backend
         Done d = std::move(it->second);
         done.erase(it);
         stats_.d2h_bytes += d.run.d2h_bytes;
+        S2TA_METRIC_ADD("backend.d2h_bytes", d.run.d2h_bytes);
         if (transfer_cycles != nullptr)
             *transfer_cycles = d.transfer_cycles;
         return std::move(d.run);
@@ -241,6 +259,7 @@ class DeviceBackend final : public Backend
             stats_.completed += 1;
             --in_flight;
         }
+        S2TA_METRIC_INC("backend.completed");
         cv_submit.notify_all();
         cv_done.notify_all();
     }
@@ -258,7 +277,11 @@ class DeviceBackend final : public Backend
             Command cmd = std::move(queue.front());
             queue.pop_front();
             lk.unlock();
-            LayerRun run = acc.executePrepared(cmd.prep, cmd.opt);
+            LayerRun run;
+            {
+                S2TA_TRACE_SPAN_ID("backend", "execute", cmd.token);
+                run = acc.executePrepared(cmd.prep, cmd.opt);
+            }
             complete(cmd.token, cmd.transfer_cycles,
                      std::move(run));
             lk.lock();

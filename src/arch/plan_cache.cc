@@ -4,6 +4,7 @@
 
 #include "arch/plan_store.hh"
 #include "base/fault_injection.hh"
+#include "obs/metrics.hh"
 
 namespace s2ta {
 
@@ -77,6 +78,7 @@ PlanCache::lookupLocked(uint64_t key)
     const auto it = slots.find(key);
     if (it != slots.end()) {
         ++counters.hits;
+        S2TA_METRIC_INC("plan_cache.hits");
         lru.splice(lru.begin(), lru, it->second.lru_it);
         l.entry = it->second.entry;
         return l;
@@ -89,6 +91,7 @@ PlanCache::lookupLocked(uint64_t key)
         // the entry's next eviction is an LRU touch, not a
         // re-encode.
         ++counters.spill_hits;
+        S2TA_METRIC_INC("plan_cache.spill_rehydrates");
         spill_lru.splice(spill_lru.begin(), spill_lru,
                          sit->second.lru_it);
         l.spilled = sit->second.bytes;
@@ -111,6 +114,7 @@ PlanCache::parkLocked(
     }
     counters.spill_bytes += static_cast<int64_t>(bytes->size());
     ++counters.spill_entries;
+    S2TA_METRIC_INC("plan_cache.spills");
     spill_lru.push_front(key);
     spill_slots.emplace(
         key, SpillSlot{std::move(bytes), spill_lru.begin()});
@@ -174,6 +178,7 @@ PlanCache::insertLocked(uint64_t key,
         }
         slots.erase(vit);
         ++counters.evictions;
+        S2TA_METRIC_INC("plan_cache.evictions");
     }
 }
 
@@ -234,6 +239,7 @@ PlanCache::rehydrate(
             // spill_hit the lookup optimistically counted.
             ++counters.spill_decode_faults;
             --counters.spill_hits;
+            S2TA_METRIC_INC("plan_cache.spill_decode_faults");
             dropSpillLocked(key);
             return nullptr;
         }
@@ -262,6 +268,7 @@ PlanCache::loadFromStore(uint64_t key)
         std::lock_guard<std::mutex> lk(mu);
         if (r.entry) {
             ++counters.store_hits;
+            S2TA_METRIC_INC("plan_cache.store_hits");
         } else if (r.rejected) {
             // Corrupt / truncated / stale-version file: treated as
             // a miss; the rebuild below overwrites it.
@@ -288,6 +295,7 @@ PlanCache::saveToStore(uint64_t key, const CachedPlan &entry)
     if (s->save(key, entry)) {
         std::lock_guard<std::mutex> lk(mu);
         ++counters.store_saves;
+        S2TA_METRIC_INC("plan_cache.store_saves");
     }
 }
 
@@ -333,6 +341,7 @@ PlanCache::acquireKeyed(uint64_t key, int bz, bool dense_mirror,
         std::lock_guard<std::mutex> lk(mu);
         ++counters.misses;
     }
+    S2TA_METRIC_INC("plan_cache.misses");
     // Lower and encode outside the lock: plan construction is the
     // expensive part and must not serialize concurrent sweep lanes.
     auto entry =
@@ -390,6 +399,7 @@ PlanCache::acquireLayer(
         std::lock_guard<std::mutex> lk(mu);
         counters.misses += absent;
     }
+    S2TA_METRIC_ADD("plan_cache.misses", absent);
 
     // Whole-layer miss: lower every group in one batched pass (the
     // activation tensor is walked once for all groups). Partial

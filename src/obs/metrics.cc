@@ -1,0 +1,225 @@
+#include "obs/metrics.hh"
+
+#include <cmath>
+#include <fstream>
+
+#include "base/logging.hh"
+
+namespace s2ta {
+namespace obs {
+
+namespace {
+
+/** log2 bucket index, telemetry shape: 0 = below 2 in the
+ *  caller's unit, k = [2^k, 2^(k+1)). */
+int
+bucketOf(double v)
+{
+    if (v < 2.0)
+        return 0;
+    const int k = static_cast<int>(std::floor(std::log2(v)));
+    return std::min(k, Histogram::kBuckets - 1);
+}
+
+} // namespace
+
+void
+Histogram::record(double v)
+{
+    buckets_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // No fetch_add for atomic<double> pre-C++20 libstdc++; CAS.
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::vector<Histogram::Bin>
+Histogram::bins() const
+{
+    std::vector<Bin> out;
+    for (int k = 0; k < kBuckets; ++k) {
+        const int64_t n =
+            buckets_[k].load(std::memory_order_relaxed);
+        if (n == 0)
+            continue;
+        Bin bin;
+        bin.lo = k == 0 ? 0.0 : std::ldexp(1.0, k);
+        bin.hi = std::ldexp(1.0, k + 1);
+        bin.count = n;
+        out.push_back(bin);
+    }
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (int k = 0; k < kBuckets; ++k)
+        buckets_[k].store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    // Leaked, like Tracer::global(): atexit snapshot writers in the
+    // bench harness may run after static destructors.
+    static MetricsRegistry *registry = new MetricsRegistry();
+    return *registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+namespace {
+
+/** Format a double the way the JSON snapshot wants it: shortest
+ *  round-trippable representation printf gives us. */
+std::string
+formatDouble(double v)
+{
+    char tmp[32];
+    std::snprintf(tmp, sizeof(tmp), "%.17g", v);
+    return tmp;
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::snapshotText() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    for (const auto &[name, c] : counters_) {
+        out += name;
+        out += " ";
+        out += std::to_string(c->value());
+        out += "\n";
+    }
+    for (const auto &[name, g] : gauges_) {
+        out += name;
+        out += " ";
+        out += formatDouble(g->value());
+        out += "\n";
+    }
+    for (const auto &[name, h] : histograms_) {
+        out += name;
+        out += " count=";
+        out += std::to_string(h->count());
+        out += " sum=";
+        out += formatDouble(h->sum());
+        for (const Histogram::Bin &bin : h->bins()) {
+            out += " [";
+            out += formatDouble(bin.lo);
+            out += ",";
+            out += formatDouble(bin.hi);
+            out += ")=";
+            out += std::to_string(bin.count);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::snapshotJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + name + "\":" + std::to_string(c->value());
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + name + "\":" + formatDouble(g->value());
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + name + "\":{\"count\":" +
+               std::to_string(h->count()) +
+               ",\"sum\":" + formatDouble(h->sum()) + ",\"bins\":[";
+        bool first_bin = true;
+        for (const Histogram::Bin &bin : h->bins()) {
+            if (!first_bin)
+                out += ",";
+            first_bin = false;
+            out += "[" + formatDouble(bin.lo) + "," +
+                   formatDouble(bin.hi) + "," +
+                   std::to_string(bin.count) + "]";
+        }
+        out += "]}";
+    }
+    out += "}}";
+    return out;
+}
+
+void
+MetricsRegistry::writeJson(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        s2ta_fatal("cannot open metrics output '%s'", path.c_str());
+    const std::string doc = snapshotJson();
+    out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+    out.close();
+    if (!out)
+        s2ta_fatal("failed writing metrics output '%s'",
+                   path.c_str());
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[name, c] : counters_)
+        c->reset();
+    for (const auto &[name, g] : gauges_)
+        g->reset();
+    for (const auto &[name, h] : histograms_)
+        h->reset();
+}
+
+} // namespace obs
+} // namespace s2ta

@@ -1,0 +1,273 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "base/logging.hh"
+
+namespace s2ta {
+namespace obs {
+
+namespace {
+
+/** Smallest power of two >= n (and >= 2, so the ring is never
+ *  degenerate). */
+size_t
+roundUpPow2(size_t n)
+{
+    size_t cap = 2;
+    while (cap < n)
+        cap <<= 1;
+    return cap;
+}
+
+std::atomic<uint64_t> next_tracer_id{1};
+
+} // namespace
+
+/**
+ * One thread's event storage: a fixed vector written modulo its
+ * capacity under its own mutex. Only the owning thread writes;
+ * snapshot/clear/stats lock the same mutex from other threads, so
+ * the common case (no export in flight) is an uncontended lock.
+ */
+struct Tracer::ThreadBuffer
+{
+    ThreadBuffer(uint32_t tid, size_t capacity)
+        : tid(tid), ring(capacity)
+    {
+    }
+
+    const uint32_t tid;
+    mutable std::mutex mu;
+    std::vector<TraceEvent> ring;
+    /** Total events ever written; the ring holds the last
+     *  min(head, ring.size()) of them. */
+    uint64_t head = 0;
+};
+
+Tracer::Tracer(size_t ring_capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      ring_capacity_(roundUpPow2(ring_capacity)),
+      id_(next_tracer_id.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+Tracer::~Tracer() = default;
+
+Tracer &
+Tracer::global()
+{
+    // Leaked: bench atexit exporters run after static destructors.
+    static Tracer *tracer = new Tracer();
+    return *tracer;
+}
+
+Tracer::ThreadBuffer &
+Tracer::threadBuffer()
+{
+    struct CacheEntry
+    {
+        uint64_t tracer_id;
+        ThreadBuffer *buffer;
+    };
+    // Keyed by process-unique tracer id: an entry for a destroyed
+    // tracer can never be matched again, so stale pointers are
+    // inert. A thread touches at most a handful of tracers (the
+    // global one plus test-local instances).
+    thread_local std::vector<CacheEntry> cache;
+    for (const CacheEntry &e : cache) {
+        if (e.tracer_id == id_)
+            return *e.buffer;
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto buffer = std::make_unique<ThreadBuffer>(
+        static_cast<uint32_t>(buffers_.size() + 1), ring_capacity_);
+    ThreadBuffer *raw = buffer.get();
+    buffers_.push_back(std::move(buffer));
+    cache.push_back({id_, raw});
+    return *raw;
+}
+
+void
+Tracer::emit(const TraceEvent &ev)
+{
+    ThreadBuffer &buf = threadBuffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.ring[buf.head & (buf.ring.size() - 1)] = ev;
+    ++buf.head;
+}
+
+void
+Tracer::completeEvent(const char *cat, const char *name,
+                      int64_t start_ns, int64_t dur_ns, int64_t arg)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.cat = cat;
+    ev.name = name;
+    ev.phase = TraceEvent::Phase::Complete;
+    ev.ts_ns = start_ns;
+    ev.dur_ns = dur_ns;
+    ev.value = arg;
+    emit(ev);
+}
+
+void
+Tracer::instant(const char *cat, const char *name, int64_t arg)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.cat = cat;
+    ev.name = name;
+    ev.phase = TraceEvent::Phase::Instant;
+    ev.ts_ns = nowNs();
+    ev.value = arg;
+    emit(ev);
+}
+
+void
+Tracer::counter(const char *cat, const char *name, int64_t value)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.cat = cat;
+    ev.name = name;
+    ev.phase = TraceEvent::Phase::Counter;
+    ev.ts_ns = nowNs();
+    ev.value = value;
+    emit(ev);
+}
+
+Tracer::Stats
+Tracer::stats() const
+{
+    Stats s;
+    std::lock_guard<std::mutex> lock(mu_);
+    s.threads = static_cast<int>(buffers_.size());
+    for (const auto &buf : buffers_) {
+        std::lock_guard<std::mutex> buf_lock(buf->mu);
+        const uint64_t held =
+            std::min<uint64_t>(buf->head, buf->ring.size());
+        s.recorded += static_cast<int64_t>(held);
+        s.dropped += static_cast<int64_t>(buf->head - held);
+    }
+    return s;
+}
+
+std::vector<TraceEvent>
+Tracer::snapshot() const
+{
+    std::vector<TraceEvent> events;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &buf : buffers_) {
+            std::lock_guard<std::mutex> buf_lock(buf->mu);
+            const size_t cap = buf->ring.size();
+            const uint64_t held = std::min<uint64_t>(buf->head, cap);
+            for (uint64_t i = buf->head - held; i < buf->head; ++i) {
+                TraceEvent ev = buf->ring[i & (cap - 1)];
+                ev.tid = buf->tid;
+                events.push_back(ev);
+            }
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.ts_ns < b.ts_ns;
+                     });
+    return events;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &buf : buffers_) {
+        std::lock_guard<std::mutex> buf_lock(buf->mu);
+        buf->head = 0;
+    }
+}
+
+namespace {
+
+/** Append ns as a microsecond decimal ("1234.567") — Chrome's ts
+ *  unit is us, but viewers keep sub-us precision via fractions. */
+void
+appendMicros(std::string &out, int64_t ns)
+{
+    char tmp[32];
+    std::snprintf(tmp, sizeof(tmp), "%lld.%03lld",
+                  static_cast<long long>(ns / 1000),
+                  static_cast<long long>(ns % 1000));
+    out += tmp;
+}
+
+} // namespace
+
+std::string
+Tracer::chromeTraceJson() const
+{
+    const std::vector<TraceEvent> events = snapshot();
+    std::string out;
+    out.reserve(events.size() * 96 + 64);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &ev : events) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"pid\":1,\"tid\":";
+        out += std::to_string(ev.tid);
+        out += ",\"cat\":\"";
+        out += ev.cat;
+        out += "\",\"name\":\"";
+        out += ev.name;
+        out += "\",\"ts\":";
+        appendMicros(out, ev.ts_ns);
+        switch (ev.phase) {
+          case TraceEvent::Phase::Complete:
+            out += ",\"ph\":\"X\",\"dur\":";
+            appendMicros(out, ev.dur_ns);
+            out += ",\"args\":{\"id\":";
+            out += std::to_string(ev.value);
+            out += "}";
+            break;
+          case TraceEvent::Phase::Instant:
+            // Thread-scoped instant.
+            out += ",\"ph\":\"i\",\"s\":\"t\",\"args\":{\"id\":";
+            out += std::to_string(ev.value);
+            out += "}";
+            break;
+          case TraceEvent::Phase::Counter:
+            out += ",\"ph\":\"C\",\"args\":{\"value\":";
+            out += std::to_string(ev.value);
+            out += "}";
+            break;
+        }
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+void
+Tracer::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        s2ta_fatal("cannot open trace output '%s'", path.c_str());
+    const std::string doc = chromeTraceJson();
+    out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+    out.close();
+    if (!out)
+        s2ta_fatal("failed writing trace output '%s'", path.c_str());
+}
+
+} // namespace obs
+} // namespace s2ta

@@ -7,6 +7,8 @@
 #include "arch/plan_cache.hh"
 #include "base/fault_injection.hh"
 #include "base/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace s2ta {
 namespace serve {
@@ -473,6 +475,7 @@ FleetScheduler::drain()
         const int target =
             router.route(rstate[i].identity, routableSet(),
                          outstandingVec(), exclude);
+        S2TA_TRACE_INSTANT("fleet", "place", target);
         return newInstance(i, target, t, is_hedge);
     };
 
@@ -630,6 +633,8 @@ FleetScheduler::drain()
                 rq.failovers += 1;
                 totals.failovers += 1;
                 tele.recordFailover();
+                S2TA_TRACE_INSTANT("fleet", "failover", in.req);
+                S2TA_METRIC_INC("fleet.failovers");
                 routeInstance(in.req, t, static_cast<int>(r),
                               false);
             } else {
@@ -645,6 +650,8 @@ FleetScheduler::drain()
     const auto handleLifecycle = [&](const ReplicaEvent &ev,
                                      double t) {
         Rep &rep = reps[static_cast<size_t>(ev.replica)];
+        S2TA_TRACE_INSTANT("fleet", replicaEventKindName(ev.kind),
+                           ev.replica);
         switch (ev.kind) {
           case ReplicaEvent::Kind::Crash: {
             if (!rep.up)
@@ -654,6 +661,7 @@ FleetScheduler::drain()
             rep.crash_epoch += 1;
             totals.crashes += 1;
             tele.replica(ev.replica).crashes += 1;
+            S2TA_METRIC_INC("fleet.crashes");
             // Failure detection from missed completions: the
             // heartbeat bounds detection at crash + detect_delay_s,
             // but the first *expected* completion that never
@@ -685,6 +693,7 @@ FleetScheduler::drain()
                       t);
             totals.restarts += 1;
             tele.replica(ev.replica).restarts += 1;
+            S2TA_METRIC_INC("fleet.restarts");
             // Stranded instances waited exactly for this.
             std::vector<int> still;
             for (const int ii : stranded) {
@@ -725,6 +734,7 @@ FleetScheduler::drain()
                 rep.draining = true;
                 totals.drains += 1;
                 tele.replica(ev.replica).drains += 1;
+                S2TA_METRIC_INC("fleet.drains");
             }
             break;
           case ReplicaEvent::Kind::DrainEnd:
@@ -852,6 +862,8 @@ FleetScheduler::drain()
             return; // Nowhere to hedge to; not counted as launched.
         rq.hedged = true;
         tele.recordHedgeLaunched();
+        S2TA_TRACE_INSTANT("fleet", "hedge", i);
+        S2TA_METRIC_INC("fleet.hedges");
         newInstance(i, target, t, true);
     };
 

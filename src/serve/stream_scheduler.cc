@@ -5,6 +5,8 @@
 #include "arch/backend.hh"
 #include "base/fault_injection.hh"
 #include "base/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace s2ta {
 namespace serve {
@@ -97,6 +99,13 @@ StreamScheduler::drain()
         if (!any)
             break;
     }
+    // Observation only: spans/instants/counters record wall-clock
+    // truth about this drain and never feed back into simulation
+    // or timing (tests/obs/test_trace.cc gates the bits).
+    S2TA_TRACE_COUNTER("serve", "serve.admitted", admitted.size());
+    for ([[maybe_unused]] const Pending &p : admitted)
+        S2TA_TRACE_INSTANT("serve", "admit", p.id);
+    S2TA_METRIC_ADD("serve.requests", admitted.size());
 
     // Simulation: whole requests fan out across the lanes; the
     // accelerator's internal layer/group parallelFor runs inline
@@ -138,6 +147,7 @@ StreamScheduler::drain()
     const auto run_one = [&](int64_t idx) {
         SimResult &sr = sims[static_cast<size_t>(idx)];
         const Pending &p = admitted[static_cast<size_t>(idx)];
+        S2TA_TRACE_SPAN_ID("serve", "simulate", p.id);
         for (int a = 0; a < max_attempts; ++a) {
             NetworkRunOptions ro = opts.run;
             if (inject) {
@@ -243,6 +253,7 @@ StreamScheduler::drain()
         timed[i].extra_delay_s = extra;
         timed[i].stream = p.stream;
         timed[i].id = p.id;
+        S2TA_TRACE_INSTANT("serve", "queue", p.id);
     }
     const AdmissionPolicy &policy =
         opts.policy ? *opts.policy
@@ -280,6 +291,11 @@ StreamScheduler::drain()
         c.stall_cycles = sr.stall_cycles;
         c.transfer_cycles = sr.transfer_cycles;
         c.retry_delay_s = timed[i].extra_delay_s;
+        if (lanes[i].shed != ShedReason::None)
+            S2TA_TRACE_INSTANT("serve", "shed", p.id);
+        else
+            S2TA_TRACE_INSTANT("serve", "dispatch", lanes[i].lane);
+        S2TA_TRACE_INSTANT("serve", "complete", p.id);
         if (lanes[i].shed != ShedReason::None) {
             // Shed wins over a simulation failure: the request was
             // never dispatched, so no result — good or failed —
@@ -333,6 +349,10 @@ StreamScheduler::drain()
     }
     totals.max_queue_depth = std::max(totals.max_queue_depth,
                                       sched_stats.max_queue_depth);
+    S2TA_METRIC_ADD("serve.dispatched", sched_stats.dispatched);
+    S2TA_METRIC_ADD("serve.shed", sched_stats.shedTotal());
+    S2TA_METRIC_SET("serve.max_queue_depth",
+                    totals.max_queue_depth);
     queues.clear();
     return by_stream;
 }

@@ -115,19 +115,17 @@ LatencyTelemetry::record(const LatencySample &s)
 namespace {
 
 /**
- * Nearest rank over an ascending sample list: ceil(q*n), 1-based.
- * Defined on every stream size — an empty list reports 0.0 (there
- * is no latency to report, and harnesses emit quantile columns
- * unconditionally) and a single sample is every quantile of its
- * stream — rather than relying on rank clamping to paper over the
- * 0- and 1-sample edge cases.
+ * Nearest rank over a non-empty ascending sample list: ceil(q*n),
+ * 1-based. A single sample is every quantile of its stream. The
+ * 0-sample case is the *caller's* decision — quantile() panics,
+ * quantileIfAny() returns nullopt, quantiles() reports zeros —
+ * rather than relying on rank clamping to paper over it here.
  */
 double
 rankOf(const std::vector<double> &sorted, double q)
 {
     const size_t n = sorted.size();
-    if (n == 0)
-        return 0.0;
+    s2ta_assert(n > 0, "rankOf on an empty sample list");
     if (n == 1)
         return sorted[0];
     size_t rank = static_cast<size_t>(
@@ -143,14 +141,31 @@ LatencyTelemetry::quantile(double q) const
 {
     s2ta_assert(q > 0.0 && q <= 1.0, "quantile %g out of (0, 1]",
                 q);
+    s2ta_assert(total > 0,
+                "quantile(%g) on empty telemetry — a 0.0 here "
+                "would report a perfect latency; use "
+                "quantileIfAny() if emptiness is expected",
+                q);
     std::vector<double> sorted = latencies_s;
     std::sort(sorted.begin(), sorted.end());
     return rankOf(sorted, q);
 }
 
+std::optional<double>
+LatencyTelemetry::quantileIfAny(double q) const
+{
+    s2ta_assert(q > 0.0 && q <= 1.0, "quantile %g out of (0, 1]",
+                q);
+    if (total == 0)
+        return std::nullopt;
+    return quantile(q);
+}
+
 LatencyQuantiles
 LatencyTelemetry::quantiles() const
 {
+    if (total == 0)
+        return {};
     std::vector<double> sorted = latencies_s;
     std::sort(sorted.begin(), sorted.end());
     return {rankOf(sorted, 0.50), rankOf(sorted, 0.95),

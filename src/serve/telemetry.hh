@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "serve/qos.hh"
@@ -297,16 +298,23 @@ class LatencyTelemetry
 
     /**
      * Exact nearest-rank quantile: the smallest recorded latency x
-     * such that at least ceil(q * n) samples are <= x. Edge cases
-     * are defined, not underflow-clamped: an empty telemetry
-     * reports 0.0 for every quantile, and a single-sample stream
-     * reports that sample for every quantile. @p q must be in
-     * (0, 1].
+     * such that at least ceil(q * n) samples are <= x. A
+     * single-sample stream reports that sample for every quantile.
+     * Asking an *empty* telemetry for a quantile is a caller bug
+     * and panics — a silent 0.0 used to masquerade as a perfect
+     * latency; use quantileIfAny() when emptiness is a legitimate
+     * state. @p q must be in (0, 1].
      */
     double quantile(double q) const;
 
-    /** The standard p50/p95/p99 triple from one sort pass (all
-     *  zero with no samples; the sole sample with one). */
+    /** quantile() for callers that may hold no samples: nullopt on
+     *  an empty telemetry instead of panicking. */
+    std::optional<double> quantileIfAny(double q) const;
+
+    /** The standard p50/p95/p99 triple from one sort pass. Defined
+     *  on every size — harnesses emit quantile columns
+     *  unconditionally, so an empty telemetry reports all zeros
+     *  (and a single sample is every quantile of its stream). */
     LatencyQuantiles quantiles() const;
 
     /** Per-stream queueing-delay breakdown, ascending stream id. */

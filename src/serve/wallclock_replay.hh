@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Wall-clock replay serving: the measured-time counterpart of the
+ * virtual-clock StreamScheduler.
+ *
+ * Everything the serving stack gates today is virtual time — the
+ * QoS latencies, overload behavior, and fleet failover numbers are
+ * all computed by a discrete-event loop over seeded traces. This
+ * driver replays the *same* trace open-loop against real
+ * std::chrono::steady_clock on a real ThreadPool: a feeder thread
+ * publishes each request at its scheduled wall arrival instant
+ * (open-loop: arrivals never wait for the system, exactly like the
+ * virtual trace), N worker lanes pull published requests in the
+ * order the configured AdmissionPolicy dictates and run the full
+ * simulation, and every completion carries *measured* enqueue /
+ * start / finish instants read from the monotonic clock.
+ *
+ * The determinism contract splits in two, deliberately:
+ *
+ *  - **Results**: each request's NetworkRun is computed by the same
+ *    const Accelerator (through the same shared PlanCache) as the
+ *    virtual run, so served results are bitwise identical to the
+ *    virtual-time drain — bench_wallclock_serving gates this.
+ *  - **Timing**: measured instants are real and therefore *not*
+ *    reproducible run to run; they are the point. The bench reports
+ *    them side by side with the virtual quantiles.
+ *
+ * Per-request spans and counters are emitted through the global
+ * Tracer (obs/trace.hh) under the "replay" category, so a replay
+ * opened in Perfetto shows the feeder's arrivals against each
+ * lane's request spans.
+ */
+
+#ifndef S2TA_SERVE_WALLCLOCK_REPLAY_HH
+#define S2TA_SERVE_WALLCLOCK_REPLAY_HH
+
+#include <vector>
+
+#include "arch/accelerator.hh"
+#include "serve/qos.hh"
+#include "serve/telemetry.hh"
+#include "workload/model_workloads.hh"
+
+namespace s2ta {
+namespace serve {
+
+/**
+ * One request of a wall-clock trace. Index order in the trace
+ * vector is *admission order* — build the trace in the same
+ * round-robin admission order the virtual StreamScheduler uses and
+ * the policy sees the identical ready-set structure.
+ */
+struct WallclockRequest
+{
+    /** Workload to simulate; borrowed, must outlive the replay. */
+    const ModelWorkload *model = nullptr;
+    int stream = 0;
+    /** Scheduled open-loop arrival, wall seconds from replay
+     *  start (ascending is not required across the trace; the
+     *  feeder sorts). */
+    double arrival_s = 0.0;
+    /** Wall-clock deadline from replay start, or kNoDeadline. */
+    double deadline_s = kNoDeadline;
+    /** Policy-visible service estimate (SJF ordering), in the same
+     *  cycle units the virtual run used. */
+    int64_t est_cycles = 0;
+};
+
+/** One served request with measured wall-clock instants. */
+struct WallclockCompletion
+{
+    /** Trace index (== admission index). */
+    size_t index = 0;
+    int stream = 0;
+    /** Worker lane (0-based) that served the request. */
+    int lane = -1;
+    /** Scheduled arrival (copied from the trace; the open-loop
+     *  latency baseline, exactly as in virtual time). */
+    double arrival_s = 0.0;
+    /** Measured instant the feeder published the request. */
+    double enqueue_s = 0.0;
+    /** Measured instant a lane picked the request up. */
+    double start_s = 0.0;
+    /** Measured completion instant. */
+    double finish_s = 0.0;
+    double deadline_s = kNoDeadline;
+    /** Simulation result; bitwise identical to the virtual run's. */
+    NetworkRun run;
+
+    /** Measured timing, ready for LatencyTelemetry. */
+    LatencySample
+    sample() const
+    {
+        return LatencySample{stream, arrival_s, start_s, finish_s,
+                             deadline_s};
+    }
+};
+
+struct WallclockReplayOptions
+{
+    /** Simulation knobs shared by every request (engine, shared
+     *  plan cache, ...) — use the same options as the virtual run
+     *  for bitwise-identical results. */
+    NetworkRunOptions run;
+    /** Concurrent serving lanes (dedicated worker threads). */
+    int lanes = 2;
+    /** Dispatch-order policy; borrowed, nullptr = round-robin
+     *  (admission order). */
+    const AdmissionPolicy *policy = nullptr;
+};
+
+/**
+ * Replay @p trace open-loop against the wall clock on @p acc.
+ * Blocks until every request is served (runs for at least the
+ * trace's arrival horizon in real time). Returns completions
+ * indexed like @p trace.
+ *
+ * Uses a dedicated ThreadPool of opts.lanes workers plus the
+ * calling thread; each request's internal layer/group fan-out runs
+ * inline on its lane (the nested-parallelism rule), so lanes model
+ * independent serving replicas of one accelerator.
+ */
+std::vector<WallclockCompletion>
+replayWallclock(const Accelerator &acc,
+                const std::vector<WallclockRequest> &trace,
+                const WallclockReplayOptions &opts);
+
+} // namespace serve
+} // namespace s2ta
+
+#endif // S2TA_SERVE_WALLCLOCK_REPLAY_HH

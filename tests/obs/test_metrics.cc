@@ -1,0 +1,189 @@
+/** @file MetricsRegistry contract: counters/gauges/histograms are
+ *  exact, named lookups return stable references, the log2
+ *  histogram buckets partition every recorded value on the
+ *  documented boundaries, snapshots render every registered metric,
+ *  concurrent increments lose nothing (the TSan serve job runs
+ *  this), and reset() zeroes without unregistering. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace s2ta {
+namespace obs {
+namespace {
+
+TEST(Metrics, CounterAddsAndResets)
+{
+    MetricsRegistry r;
+    Counter &c = r.counter("test.requests");
+    EXPECT_EQ(c.value(), 0);
+    c.add(3);
+    c.add(1);
+    EXPECT_EQ(c.value(), 4);
+    c.reset();
+    EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Metrics, GaugeHoldsLastValue)
+{
+    MetricsRegistry r;
+    Gauge &g = r.gauge("test.depth");
+    g.set(3.5);
+    g.set(-1.25);
+    EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(Metrics, LookupsReturnTheSameInstance)
+{
+    MetricsRegistry r;
+    Counter &a = r.counter("test.same");
+    a.add(7);
+    // A second lookup must alias, not shadow.
+    EXPECT_EQ(&r.counter("test.same"), &a);
+    EXPECT_EQ(r.counter("test.same").value(), 7);
+    EXPECT_EQ(&r.gauge("test.g"), &r.gauge("test.g"));
+    EXPECT_EQ(&r.histogram("test.h"), &r.histogram("test.h"));
+}
+
+TEST(Metrics, HistogramBucketsOnLog2Boundaries)
+{
+    MetricsRegistry r;
+    Histogram &h = r.histogram("test.lat_us");
+    // Bucket 0 is [0, 2); bucket k >= 1 is [2^k, 2^(k+1)).
+    h.record(0.0);
+    h.record(1.9);   // bucket 0
+    h.record(2.0);   // bucket 1
+    h.record(3.99);  // bucket 1
+    h.record(4.0);   // bucket 2
+    h.record(1024.0);
+
+    EXPECT_EQ(h.count(), 6);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0 + 1.9 + 2.0 + 3.99 + 4.0 + 1024.0);
+
+    const std::vector<Histogram::Bin> bins = h.bins();
+    ASSERT_EQ(bins.size(), 4u);
+    EXPECT_DOUBLE_EQ(bins[0].lo, 0.0);
+    EXPECT_DOUBLE_EQ(bins[0].hi, 2.0);
+    EXPECT_EQ(bins[0].count, 2);
+    EXPECT_DOUBLE_EQ(bins[1].lo, 2.0);
+    EXPECT_DOUBLE_EQ(bins[1].hi, 4.0);
+    EXPECT_EQ(bins[1].count, 2);
+    EXPECT_DOUBLE_EQ(bins[2].lo, 4.0);
+    EXPECT_DOUBLE_EQ(bins[2].hi, 8.0);
+    EXPECT_EQ(bins[2].count, 1);
+    EXPECT_DOUBLE_EQ(bins[3].lo, 1024.0);
+    EXPECT_DOUBLE_EQ(bins[3].hi, 2048.0);
+    EXPECT_EQ(bins[3].count, 1);
+
+    // Every recorded value landed in some bin.
+    int64_t binned = 0;
+    for (const Histogram::Bin &b : bins)
+        binned += b.count;
+    EXPECT_EQ(binned, h.count());
+}
+
+TEST(Metrics, HistogramClampsHugeValuesToTheLastBucket)
+{
+    MetricsRegistry r;
+    Histogram &h = r.histogram("test.huge");
+    h.record(std::ldexp(1.0, 80)); // way past 2^63
+    const std::vector<Histogram::Bin> bins = h.bins();
+    ASSERT_EQ(bins.size(), 1u);
+    EXPECT_DOUBLE_EQ(bins[0].lo, std::ldexp(1.0, 63));
+    EXPECT_EQ(bins[0].count, 1);
+}
+
+TEST(Metrics, SnapshotsRenderEveryMetric)
+{
+    MetricsRegistry r;
+    r.counter("serve.requests").add(5);
+    r.gauge("serve.depth").set(2.0);
+    r.histogram("serve.latency_us").record(100.0);
+
+    const std::string text = r.snapshotText();
+    EXPECT_NE(text.find("serve.requests"), std::string::npos);
+    EXPECT_NE(text.find("serve.depth"), std::string::npos);
+    EXPECT_NE(text.find("serve.latency_us"), std::string::npos);
+
+    const std::string json = r.snapshotJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"serve.requests\":5"),
+              std::string::npos);
+    int depth = 0;
+    for (const char c : json) {
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Metrics, ConcurrentCounterIncrementsLoseNothing)
+{
+    MetricsRegistry r;
+    Counter &c = r.counter("test.contended");
+    Histogram &h = r.histogram("test.contended_hist");
+    constexpr int kThreads = 8;
+    constexpr int kPer = 10000;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kThreads; ++w) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kPer; ++i) {
+                c.add(1);
+                h.record(static_cast<double>(i % 64));
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), int64_t{kThreads} * kPer);
+    EXPECT_EQ(h.count(), int64_t{kThreads} * kPer);
+}
+
+TEST(Metrics, ResetZeroesWithoutUnregistering)
+{
+    MetricsRegistry r;
+    Counter &c = r.counter("test.keep");
+    c.add(9);
+    r.gauge("test.keep_g").set(1.0);
+    r.histogram("test.keep_h").record(5.0);
+    r.reset();
+    // Same instances, zeroed.
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_DOUBLE_EQ(r.gauge("test.keep_g").value(), 0.0);
+    EXPECT_EQ(r.histogram("test.keep_h").count(), 0);
+    EXPECT_NE(r.snapshotText().find("test.keep"),
+              std::string::npos);
+}
+
+TEST(Metrics, MacrosRecordIntoTheGlobalRegistry)
+{
+    MetricsRegistry &g = MetricsRegistry::global();
+    const int64_t before =
+        g.counter("test.macro_counter").value();
+    S2TA_METRIC_INC("test.macro_counter");
+    S2TA_METRIC_ADD("test.macro_counter", 2);
+    S2TA_METRIC_SET("test.macro_gauge", 4.5);
+    S2TA_METRIC_RECORD("test.macro_hist", 10.0);
+#ifndef S2TA_OBS_DISABLE
+    EXPECT_EQ(g.counter("test.macro_counter").value(), before + 3);
+    EXPECT_DOUBLE_EQ(g.gauge("test.macro_gauge").value(), 4.5);
+    EXPECT_GE(g.histogram("test.macro_hist").count(), 1);
+#else
+    // Compiled out: the hooks must be exactly nothing.
+    EXPECT_EQ(g.counter("test.macro_counter").value(), before);
+#endif
+}
+
+} // namespace
+} // namespace obs
+} // namespace s2ta

@@ -158,15 +158,19 @@ TEST(LatencyTelemetry, MeanMaxAndClear)
     EXPECT_DOUBLE_EQ(t.meanLatency(), 0.0);
 }
 
-TEST(LatencyTelemetry, EmptyStreamQuantilesAreZero)
+TEST(LatencyTelemetry, EmptyStreamQuantilePanicsInsteadOfLying)
 {
-    // The documented degenerate-stream contract: every quantile of
-    // an empty telemetry object is 0.0 (not a crash, not NaN), at
-    // every q including the boundaries.
+    // The degenerate-stream contract: quantile() on an empty
+    // telemetry is a caller bug and panics — the old silent 0.0
+    // masqueraded as a perfect latency in dashboards. Callers for
+    // whom emptiness is legitimate use quantileIfAny() (nullopt) or
+    // quantiles() (defined on every size: all zeros when empty,
+    // because harnesses emit quantile columns unconditionally).
     LatencyTelemetry t;
     EXPECT_EQ(t.count(), 0);
+    EXPECT_DEATH(t.quantile(0.5), "empty");
     for (const double q : {0.01, 0.5, 0.99, 1.0})
-        EXPECT_DOUBLE_EQ(t.quantile(q), 0.0) << "q=" << q;
+        EXPECT_FALSE(t.quantileIfAny(q).has_value()) << "q=" << q;
     const LatencyQuantiles lq = t.quantiles();
     EXPECT_DOUBLE_EQ(lq.p50_s, 0.0);
     EXPECT_DOUBLE_EQ(lq.p95_s, 0.0);
@@ -182,8 +186,11 @@ TEST(LatencyTelemetry, SingleSampleStreamIsItsOwnQuantile)
     // sample.
     LatencyTelemetry t;
     t.record(sample(0, 0.0, 0.25, 1.75));
-    for (const double q : {0.01, 0.5, 0.99, 1.0})
+    for (const double q : {0.01, 0.5, 0.99, 1.0}) {
         EXPECT_DOUBLE_EQ(t.quantile(q), 1.75) << "q=" << q;
+        ASSERT_TRUE(t.quantileIfAny(q).has_value());
+        EXPECT_DOUBLE_EQ(*t.quantileIfAny(q), 1.75) << "q=" << q;
+    }
     const LatencyQuantiles lq = t.quantiles();
     EXPECT_DOUBLE_EQ(lq.p50_s, 1.75);
     EXPECT_DOUBLE_EQ(lq.p95_s, 1.75);
@@ -192,7 +199,27 @@ TEST(LatencyTelemetry, SingleSampleStreamIsItsOwnQuantile)
     EXPECT_DOUBLE_EQ(t.maxLatency(), 1.75);
     // And after clear() the empty-stream contract applies again.
     t.clear();
-    EXPECT_DOUBLE_EQ(t.quantile(0.5), 0.0);
+    EXPECT_FALSE(t.quantileIfAny(0.5).has_value());
+    EXPECT_DEATH(t.quantile(0.5), "empty");
+}
+
+TEST(LatencyTelemetry, TwoSampleNearestRankBoundaries)
+{
+    // Two samples pin the nearest-rank boundary arithmetic: p50 is
+    // the *lower* sample (rank ceil(0.5 * 2) = 1) and everything
+    // above q = 0.5 is the upper one (rank 2).
+    LatencyTelemetry t;
+    t.record(sample(0, 0.0, 0.0, 3.0));
+    t.record(sample(1, 0.0, 0.0, 1.0));
+    EXPECT_DOUBLE_EQ(t.quantile(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(t.quantile(0.51), 3.0);
+    EXPECT_DOUBLE_EQ(t.quantile(0.95), 3.0);
+    EXPECT_DOUBLE_EQ(t.quantile(0.99), 3.0);
+    EXPECT_DOUBLE_EQ(t.quantile(1.0), 3.0);
+    const LatencyQuantiles lq = t.quantiles();
+    EXPECT_DOUBLE_EQ(lq.p50_s, 1.0);
+    EXPECT_DOUBLE_EQ(lq.p95_s, 3.0);
+    EXPECT_DOUBLE_EQ(lq.p99_s, 3.0);
 }
 
 TEST(FleetTelemetry, HedgeLedgerReconciles)

@@ -1,0 +1,214 @@
+/** @file Wall-clock replay contract: every request is served
+ *  exactly once with measured instants that respect causality
+ *  (enqueue/start at or after the scheduled arrival, finish after
+ *  start), results are bitwise identical to direct runNetwork calls
+ *  (real concurrency reorders timing, never computation), the
+ *  configured admission policy drives dispatch order, and degenerate
+ *  traces (empty, single lane, simultaneous arrivals) hold up. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "arch/plan_cache.hh"
+#include "base/logging.hh"
+#include "serve/model_registry.hh"
+#include "serve/wallclock_replay.hh"
+
+namespace s2ta {
+namespace serve {
+namespace {
+
+bool
+sameRun(const NetworkRun &a, const NetworkRun &b)
+{
+    if (!(a.total == b.total) || a.dense_macs != b.dense_macs ||
+        a.layers.size() != b.layers.size())
+        return false;
+    for (size_t i = 0; i < a.layers.size(); ++i) {
+        if (!(a.layers[i].events == b.layers[i].events) ||
+            !(a.layers[i].output == b.layers[i].output))
+            return false;
+    }
+    return true;
+}
+
+class WallclockReplayTest : public ::testing::Test
+{
+  protected:
+    WallclockReplayTest()
+    {
+        AcceleratorConfig cfg;
+        cfg.array = ArrayConfig::s2taAw(4);
+        cfg.sim_threads = 1;
+        acc = std::make_unique<Accelerator>(cfg);
+        run_opt.validate_operands = false;
+        run_opt.plan_cache = &cache;
+    }
+
+    /** A short mixed trace with sub-ms arrival spacing (test speed:
+     *  the replay blocks for the trace's real-time horizon). */
+    std::vector<WallclockRequest>
+    smallTrace(int n)
+    {
+        std::vector<WallclockRequest> trace(
+            static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            const ModelWorkload &mw =
+                registry.workload("lenet5", 1 + i % 2);
+            trace[static_cast<size_t>(i)].model = &mw;
+            trace[static_cast<size_t>(i)].stream = i % 3;
+            trace[static_cast<size_t>(i)].arrival_s = 0.0005 * i;
+            trace[static_cast<size_t>(i)].est_cycles =
+                1000 * (1 + i % 2);
+        }
+        return trace;
+    }
+
+    ModelRegistry registry;
+    PlanCache cache;
+    std::unique_ptr<Accelerator> acc;
+    NetworkRunOptions run_opt;
+};
+
+TEST_F(WallclockReplayTest, EmptyTraceReturnsNothing)
+{
+    WallclockReplayOptions opts;
+    opts.run = run_opt;
+    EXPECT_TRUE(replayWallclock(*acc, {}, opts).empty());
+}
+
+TEST_F(WallclockReplayTest, MeasuredInstantsRespectCausality)
+{
+    const std::vector<WallclockRequest> trace = smallTrace(8);
+    WallclockReplayOptions opts;
+    opts.run = run_opt;
+    opts.lanes = 2;
+    const std::vector<WallclockCompletion> done =
+        replayWallclock(*acc, trace, opts);
+
+    ASSERT_EQ(done.size(), trace.size());
+    for (size_t i = 0; i < done.size(); ++i) {
+        const WallclockCompletion &c = done[i];
+        EXPECT_EQ(c.index, i);
+        EXPECT_EQ(c.stream, trace[i].stream);
+        EXPECT_GE(c.lane, 0);
+        EXPECT_LT(c.lane, opts.lanes);
+        // Scheduled arrival is copied through; measured instants
+        // are causal: published at/after arrival, started at/after
+        // publication, finished after start.
+        EXPECT_DOUBLE_EQ(c.arrival_s, trace[i].arrival_s);
+        EXPECT_GE(c.enqueue_s, c.arrival_s);
+        EXPECT_GE(c.start_s, c.enqueue_s);
+        EXPECT_GE(c.finish_s, c.start_s);
+        // And the telemetry view agrees.
+        EXPECT_GE(c.sample().latency(), 0.0);
+        EXPECT_GE(c.sample().queueing(), 0.0);
+    }
+}
+
+TEST_F(WallclockReplayTest, ResultsBitwiseMatchDirectRuns)
+{
+    const std::vector<WallclockRequest> trace = smallTrace(6);
+    WallclockReplayOptions opts;
+    opts.run = run_opt;
+    opts.lanes = 3;
+    const std::vector<WallclockCompletion> done =
+        replayWallclock(*acc, trace, opts);
+
+    ASSERT_EQ(done.size(), trace.size());
+    for (size_t i = 0; i < done.size(); ++i) {
+        const NetworkRun direct =
+            acc->runNetwork(trace[i].model->layers, run_opt);
+        EXPECT_TRUE(sameRun(done[i].run, direct))
+            << "request " << i;
+    }
+}
+
+TEST_F(WallclockReplayTest, SingleLaneServesEverything)
+{
+    const std::vector<WallclockRequest> trace = smallTrace(5);
+    WallclockReplayOptions opts;
+    opts.run = run_opt;
+    opts.lanes = 1;
+    const std::vector<WallclockCompletion> done =
+        replayWallclock(*acc, trace, opts);
+    ASSERT_EQ(done.size(), trace.size());
+    for (const WallclockCompletion &c : done)
+        EXPECT_EQ(c.lane, 0);
+}
+
+TEST_F(WallclockReplayTest, SimultaneousArrivalsAllServeOnce)
+{
+    std::vector<WallclockRequest> trace = smallTrace(8);
+    for (WallclockRequest &r : trace)
+        r.arrival_s = 0.0; // everything arrives at the epoch
+    WallclockReplayOptions opts;
+    opts.run = run_opt;
+    opts.lanes = 4;
+    const std::vector<WallclockCompletion> done =
+        replayWallclock(*acc, trace, opts);
+    ASSERT_EQ(done.size(), trace.size());
+    std::set<size_t> seen;
+    for (const WallclockCompletion &c : done) {
+        EXPECT_TRUE(seen.insert(c.index).second);
+        EXPECT_GE(c.finish_s, c.start_s);
+    }
+    EXPECT_EQ(seen.size(), trace.size());
+}
+
+/** With one lane held busy by a long head-of-line request while the
+ *  rest of the trace arrives, an SJF policy must dispatch the
+ *  queued remainder shortest-first (by est_cycles) — observable
+ *  through measured start order. */
+TEST_F(WallclockReplayTest, PolicyControlsDispatchOrder)
+{
+    // Request 0 is a long simulation occupying the single lane;
+    // requests 1..4 arrive 1 ms in (well inside 0's service) with
+    // *descending* estimates, so SJF must start them in reverse
+    // admission order once the lane frees.
+    std::vector<WallclockRequest> trace(5);
+    trace[0].model = &registry.workload("mobilenetv1", 2);
+    trace[0].arrival_s = 0.0;
+    trace[0].est_cycles = 1;
+    for (size_t i = 1; i < trace.size(); ++i) {
+        // One workload for all queued requests: est_cycles alone
+        // drives the SJF comparison.
+        trace[i].model = &registry.workload("lenet5", 1);
+        trace[i].arrival_s = 0.001;
+        trace[i].est_cycles = static_cast<int64_t>(10000 - 100 * i);
+    }
+    WallclockReplayOptions opts;
+    opts.run = run_opt;
+    opts.lanes = 1;
+    opts.policy = &policyFor(PolicyKind::ShortestJobFirst);
+    const std::vector<WallclockCompletion> done =
+        replayWallclock(*acc, trace, opts);
+    ASSERT_EQ(done.size(), trace.size());
+
+    // Only judge the order when the timing premise held — every
+    // queued request was published before the head-of-line request
+    // finished. (On a machine where the mobilenetv1 simulation
+    // somehow beats the 1 ms arrivals the premise fails and order
+    // is legitimately arbitrary; the virtual-clock tests pin policy
+    // order deterministically.)
+    bool premise = true;
+    for (size_t i = 1; i < trace.size(); ++i)
+        premise = premise && done[i].enqueue_s < done[0].finish_s;
+    if (!premise) {
+        s2ta_warn("head-of-line request finished before the queue "
+                  "filled; skipping the order assertion");
+        return;
+    }
+    for (size_t i = 2; i < trace.size(); ++i) {
+        EXPECT_GE(done[i - 1].start_s, done[i].start_s)
+            << "SJF started " << i - 1 << " (est "
+            << trace[i - 1].est_cycles << ") before " << i
+            << " (est " << trace[i].est_cycles << ")";
+    }
+}
+
+} // namespace
+} // namespace serve
+} // namespace s2ta

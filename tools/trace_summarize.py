@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace-event JSON file in the terminal.
+
+Reads a trace produced by the obs Tracer (--trace-out on any bench,
+or Tracer::writeChromeTrace) and prints:
+
+  - the top-N span names by *total* time (sum of "X" durations) and
+    by *self* time (total minus the time covered by child spans
+    nested inside on the same thread), with counts and means;
+  - per-category event counts, split by phase (spans / instants /
+    counter samples);
+  - the trace's thread count and wall extent.
+
+Self time uses per-thread span nesting: spans on one tid are sorted
+by start, and a span's children are the spans fully contained in it
+that are not contained in a closer ancestor. The same file opens in
+chrome://tracing / Perfetto; this is the terminal-sized view.
+
+Exits non-zero on malformed input (not JSON, no traceEvents array,
+or an event missing required keys), so CI can gate on it.
+
+Usage: python3 tools/trace_summarize.py TRACE.json [--top N]
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print("trace_summarize: error: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def load_events(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail("cannot read %s: %s" % (path, e))
+    except json.JSONDecodeError as e:
+        fail("%s is not valid JSON: %s" % (path, e))
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("%s has no traceEvents array (not a Chrome trace?)"
+             % path)
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not an array")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail("traceEvents[%d] is not an object" % i)
+        for key in ("ph", "name", "ts"):
+            if key not in ev:
+                fail("traceEvents[%d] is missing '%s'" % (i, key))
+        if ev["ph"] == "X" and "dur" not in ev:
+            fail("traceEvents[%d] is a span with no 'dur'" % i)
+    return events
+
+
+def self_times(spans):
+    """Per-span self time (us) for one thread's spans.
+
+    spans: list of (start_us, dur_us, name). A stack sweep over the
+    spans sorted by (start, -dur) assigns each span's duration to it
+    minus the durations of its immediate children.
+    """
+    self_us = defaultdict(float)
+    ordered = sorted(spans, key=lambda s: (s[0], -s[1]))
+    stack = []  # open ancestors: [start, end, name, child_us]
+    for start, dur, name in ordered:
+        end = start + dur
+        while stack and start >= stack[-1][1]:
+            s0, e0, n0, c0 = stack.pop()
+            self_us[n0] += (e0 - s0) - c0
+            if stack:
+                stack[-1][3] += e0 - s0
+        stack.append([start, end, name, 0.0])
+    while stack:
+        s0, e0, n0, c0 = stack.pop()
+        self_us[n0] += (e0 - s0) - c0
+        if stack:
+            stack[-1][3] += e0 - s0
+    return self_us
+
+
+def main():
+    args = sys.argv[1:]
+    top_n = 10
+    if "--top" in args:
+        i = args.index("--top")
+        if i + 1 >= len(args):
+            fail("--top needs a value")
+        top_n = int(args[i + 1])
+        del args[i:i + 2]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    events = load_events(args[0])
+
+    spans_by_tid = defaultdict(list)
+    total_us = defaultdict(float)
+    counts = defaultdict(int)
+    cat_phase = defaultdict(int)
+    ts_min, ts_max = None, None
+    tids = set()
+    for ev in events:
+        ph = ev["ph"]
+        cat = ev.get("cat", "")
+        tid = ev.get("tid", 0)
+        tids.add(tid)
+        ts = float(ev["ts"])
+        end = ts + float(ev.get("dur", 0.0))
+        ts_min = ts if ts_min is None else min(ts_min, ts)
+        ts_max = end if ts_max is None else max(ts_max, end)
+        cat_phase[(cat, ph)] += 1
+        if ph == "X":
+            dur = float(ev["dur"])
+            name = ev["name"]
+            spans_by_tid[tid].append((ts, dur, name))
+            total_us[name] += dur
+            counts[name] += 1
+
+    self_us = defaultdict(float)
+    for tid_spans in spans_by_tid.values():
+        for name, us in self_times(tid_spans).items():
+            self_us[name] += us
+
+    extent_ms = ((ts_max - ts_min) / 1e3
+                 if events and ts_max is not None else 0.0)
+    print("%s: %d events, %d threads, %.3f ms extent"
+          % (args[0], len(events), len(tids), extent_ms))
+
+    if total_us:
+        print("\ntop %d spans by total time:" % top_n)
+        print("  %-28s %10s %8s %12s %12s"
+              % ("name", "total ms", "count", "mean us",
+                 "self ms"))
+        ranked = sorted(total_us.items(), key=lambda kv: -kv[1])
+        for name, us in ranked[:top_n]:
+            n = counts[name]
+            print("  %-28s %10.3f %8d %12.1f %12.3f"
+                  % (name, us / 1e3, n, us / n,
+                     self_us.get(name, 0.0) / 1e3))
+        print("\ntop %d spans by self time:" % top_n)
+        ranked = sorted(self_us.items(), key=lambda kv: -kv[1])
+        for name, us in ranked[:top_n]:
+            print("  %-28s self %10.3f ms of %10.3f ms total"
+                  % (name, us / 1e3, total_us[name] / 1e3))
+    else:
+        print("\nno spans recorded")
+
+    print("\nevents per (category, phase):")
+    phase_name = {"X": "span", "i": "instant", "C": "counter"}
+    for (cat, ph), n in sorted(cat_phase.items()):
+        print("  %-16s %-8s %8d"
+              % (cat or "(none)", phase_name.get(ph, ph), n))
+
+
+if __name__ == "__main__":
+    main()
