@@ -79,6 +79,7 @@ main(int argc, char **argv)
             defaultContext().planCache().stats();
         JsonWriter jw;
         jw.field("bench", "abl01_tpe_reuse")
+            .field("simd_kernel", benchSimdKernel())
             .field("design_points", 6)
             .field("cache_hits", cs.hits)
             .field("cache_misses", cs.misses);

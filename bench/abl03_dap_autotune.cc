@@ -115,6 +115,7 @@ main(int argc, char **argv)
     if (!args.json.empty()) {
         JsonWriter jw;
         jw.field("bench", "abl03_dap_autotune")
+            .field("simd_kernel", benchSimdKernel())
             .field("variable_cycles", var_cycles)
             .field("fixed4_over_variable",
                    static_cast<double>(fix4_cycles) / var_cycles,

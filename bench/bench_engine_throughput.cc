@@ -19,6 +19,13 @@
  * device thread cannot physically run alongside the submitter).
  * --test-backend picks the backend (default in-process).
  *
+ * And a SIMD tier row: the same serial fast-engine run with the
+ * kernel ladder capped at AVX2 versus uncapped (AVX-512 with VNNI
+ * and VPOPCNTDQ sub-kernels). On full runs where the host has
+ * AVX-512 the uncapped run must beat the cap (speedup_simd > 1);
+ * hosts without it record mode avx512-unsupported-host. --simd is
+ * rejected here — the tier rows pin the cap themselves.
+ *
  * Usage:
  *   bench_engine_throughput [--smoke] [--model NAME]
  *                           [--arch s2ta-w|s2ta-aw] [--json PATH]
@@ -122,6 +129,9 @@ main(int argc, char **argv)
     args.rejectFlag(args.placement_given, "--placement",
                     "engine comparison routes nothing; fleet "
                     "placement lives in bench_fleet_serving");
+    args.rejectFlag(args.simd_given, "--simd",
+                    "the SIMD tier comparison rows pin the "
+                    "dispatcher cap by design");
     if (args.model.empty())
         args.model = args.smoke ? "lenet5" : "resnet50";
     if (args.arch.empty())
@@ -210,6 +220,42 @@ main(int argc, char **argv)
         timeEngine(serial_cfg, mw, cached_opt, args.reps);
     std::printf("  %.3f s\n", cached.seconds);
 
+    // The SIMD tier rows: the serial fast engine re-timed with the
+    // dispatcher capped at AVX2 (every AVX-512 sub-path off: the
+    // VBMI intersection kernel, the VNNI dense mirror, and the
+    // VPOPCNTDQ profile derivation all fall back), then uncapped.
+    // At the 4/8 operating point the dense-mirror dot dominates, so
+    // this is chiefly VNNI-vs-SSE2 — the headline kernel-ladder
+    // win. Hosts (or builds) without the AVX-512 tier keep the rows
+    // with mode "avx512-unsupported-host" and a 1.0x ratio instead
+    // of silently comparing AVX2 against itself.
+    const bool avx512_supported = dbbAvx512KernelSupportedImpl();
+    const int tier_reps = std::max(args.reps, 3);
+    std::printf("running DBB-native engine (avx2-capped "
+                "dispatch)...\n");
+    dbbForceKernelCap(DbbKernelKind::Avx2);
+    const EngineResult tier_avx2 =
+        timeEngine(serial_cfg, mw, fast_opt, tier_reps);
+    dbbForceKernelCap(DbbKernelKind::Avx512);
+    std::printf("  %.3f s\n", tier_avx2.seconds);
+    EngineResult tier_avx512;
+    if (avx512_supported) {
+        std::printf("running DBB-native engine (avx512 "
+                    "dispatch)...\n");
+        tier_avx512 = timeEngine(serial_cfg, mw, fast_opt,
+                                 tier_reps);
+        std::printf("  %.3f s\n", tier_avx512.seconds);
+    } else {
+        std::printf("avx512 tier unavailable on this host/build; "
+                    "recording the avx2 row only\n");
+        tier_avx512.seconds = tier_avx2.seconds;
+        tier_avx512.run = tier_avx2.run;
+    }
+    const double speedup_simd =
+        tier_avx2.seconds / tier_avx512.seconds;
+    const char *simd_mode =
+        avx512_supported ? "measured" : "avx512-unsupported-host";
+
     // The async device-backend rows: the same serial device config
     // driven through the bounded command queue, synchronous (every
     // submit executes inline — no overlap possible) versus async
@@ -276,6 +322,9 @@ main(int argc, char **argv)
     const bool equal = bitwiseEqualRuns(scalar.run, fast.run) &&
                        bitwiseEqualRuns(scalar.run, prod.run) &&
                        bitwiseEqualRuns(scalar.run, cached.run) &&
+                       bitwiseEqualRuns(scalar.run, tier_avx2.run) &&
+                       bitwiseEqualRuns(scalar.run,
+                                        tier_avx512.run) &&
                        backend_equal;
     const double speedup = scalar.seconds / fast.seconds;
     const double speedup_parallel = scalar.seconds / prod.seconds;
@@ -325,12 +374,24 @@ main(int argc, char **argv)
         s2ta_fatal("async backend overlap speedup %.2fx is below "
                    "the %.1fx gate", speedup_overlap, overlap_gate);
     }
+    std::printf("simd tier: avx512 %.2fx over avx2-capped (%s)\n",
+                speedup_simd, simd_mode);
+    // Where the AVX-512 tier runs at all it must win: smoke models
+    // are too small for stable timing, but on the full model a
+    // regression to parity means a sub-kernel fell off its fast
+    // path (e.g. the dense mirror stopped choosing VNNI).
+    if (!args.smoke && avx512_supported && speedup_simd <= 1.0) {
+        s2ta_fatal("avx512 tier speedup %.2fx over avx2 is not a "
+                   "win; the kernel ladder regressed",
+                   speedup_simd);
+    }
 
     JsonWriter jw;
     jw.field("bench", "engine_throughput")
         .field("model", spec.name)
         .field("arch", acfg.array.name())
         .field("smoke", args.smoke)
+        .field("simd_kernel", benchSimdKernel())
         .field("layers", static_cast<int64_t>(spec.layers.size()))
         .field("dense_macs", spec.totalMacs())
         .field("wgt_nnz", 4)
@@ -342,6 +403,10 @@ main(int argc, char **argv)
         .field("speedup", speedup, 3)
         .field("speedup_parallel", speedup_parallel, 3)
         .field("speedup_cached", speedup_cached, 3)
+        .field("simd_avx2_seconds", tier_avx2.seconds)
+        .field("simd_avx512_seconds", tier_avx512.seconds)
+        .field("speedup_simd", speedup_simd, 3)
+        .field("simd_mode", simd_mode)
         .field("test_backend", backend_name)
         .field("backend_queue_depth", async_bcfg.queue_depth)
         .field("backend_sync_seconds", be_sync.seconds)

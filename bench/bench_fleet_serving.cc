@@ -376,6 +376,7 @@ main(int argc, char **argv)
     jw.field("bench", "fleet_serving")
         .field("smoke", args.smoke)
         .field("arch", acfg.array.name())
+        .field("simd_kernel", benchSimdKernel())
         .field("replicas", R)
         .field("placement", serve::placementName(placement))
         .field("lanes_per_replica", clock.lanes)

@@ -390,6 +390,7 @@ main(int argc, char **argv)
     jw.field("bench", "serving_throughput")
         .field("smoke", args.smoke)
         .field("arch", acfg.array.name())
+        .field("simd_kernel", benchSimdKernel())
         .field("engine",
                args.ctx.engine == EngineKind::Scalar ? "scalar"
                                                      : "fast")

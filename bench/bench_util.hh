@@ -20,6 +20,8 @@
 
 #include "arch/accelerator.hh"
 #include "arch/backend.hh"
+#include "arch/gemm_kernels.hh"
+#include "arch/gemm_plan.hh"
 #include "arch/models.hh"
 #include "arch/plan_cache.hh"
 #include "arch/plan_store.hh"
@@ -290,7 +292,38 @@ benchFlagList()
            "--replicas N, --placement hash|least-loaded, "
            "--test-backend NAME (a BackendRegistry name, e.g. "
            "in-process|scalar-ref|remote-stub), "
-           "--trace-out PATH, --metrics-out PATH";
+           "--trace-out PATH, --metrics-out PATH, "
+           "--simd auto|scalar|ssse3|avx2|avx512";
+}
+
+/**
+ * SIMD dispatch tiers usable on this host *and* build, for --simd
+ * error messages ("avx512" needs both -DS2TA_ENABLE_X86_64_V4 and
+ * AVX-512 silicon; "ssse3"/"avx2" need the v2 build).
+ */
+inline std::string
+benchSupportedSimdTiers()
+{
+    std::string tiers = "auto|scalar";
+    if (dbbSimdKernelSupportedImpl())
+        tiers += "|ssse3";
+    if (dbbAvx2KernelSupportedImpl())
+        tiers += "|avx2";
+    if (dbbAvx512KernelSupportedImpl())
+        tiers += "|avx512";
+    return tiers;
+}
+
+/**
+ * The kernel tier the dispatcher actually resolves to after --simd
+ * (and host probing): the value every bench records as
+ * "simd_kernel" in its JSON artifact so a stored number can never
+ * be mistaken for one measured under a different tier.
+ */
+inline const char *
+benchSimdKernel()
+{
+    return dbbKernelKindName(dbbActiveKernel());
 }
 
 /** Options common to every bench binary. */
@@ -343,6 +376,11 @@ struct BenchArgs
     /** MetricsRegistry JSON snapshot path, written at process exit
      *  (empty = none). */
     std::string metrics_out;
+    /** Forced SIMD dispatch tier ("auto" = widest the host has).
+     *  Parsing already applied it via dbbForceKernelCap, so every
+     *  bench inherits the pin with no code of its own; benches
+     *  record the resolved tier with benchSimdKernel(). */
+    std::string simd = "auto";
     // Whether the knob was given explicitly: benches whose
     // experiment pins a knob (e.g. the engine-comparison bench
     // runs both engines by definition) must reject an explicit
@@ -358,6 +396,7 @@ struct BenchArgs
     bool replicas_given = false;
     bool placement_given = false;
     bool test_backend_given = false;
+    bool simd_given = false;
 
     /**
      * Fatal unless flag @p name was left at its default. The error
@@ -558,6 +597,40 @@ parseBenchArgs(int argc, char **argv)
                            a.placement.c_str());
             }
             a.placement_given = true;
+        } else if (arg == "--simd") {
+            a.simd = value();
+            DbbKernelKind cap = DbbKernelKind::Avx512;
+            bool supported = true;
+            if (a.simd == "auto") {
+                cap = DbbKernelKind::Avx512; // uncapped dispatch
+            } else if (a.simd == "scalar") {
+                cap = DbbKernelKind::Scalar;
+            } else if (a.simd == "ssse3") {
+                cap = DbbKernelKind::SimdV2;
+                supported = dbbSimdKernelSupportedImpl();
+            } else if (a.simd == "avx2") {
+                cap = DbbKernelKind::Avx2;
+                supported = dbbAvx2KernelSupportedImpl();
+            } else if (a.simd == "avx512") {
+                cap = DbbKernelKind::Avx512;
+                supported = dbbAvx512KernelSupportedImpl();
+            } else {
+                s2ta_fatal("unknown simd tier '%s' (accepted "
+                           "values: auto|scalar|ssse3|avx2|avx512; "
+                           "this host/build supports: %s)",
+                           a.simd.c_str(),
+                           benchSupportedSimdTiers().c_str());
+            }
+            if (!supported) {
+                s2ta_fatal("simd tier '%s' is not usable on this "
+                           "host/build (supported here: %s) — a "
+                           "forced tier must fail loudly rather "
+                           "than silently time a different kernel",
+                           a.simd.c_str(),
+                           benchSupportedSimdTiers().c_str());
+            }
+            dbbForceKernelCap(cap);
+            a.simd_given = true;
         } else if (arg == "--trace-out") {
             a.trace_out = value();
             if (a.trace_out.empty())

@@ -309,6 +309,7 @@ main(int argc, char **argv)
     jw.field("bench", "wallclock_serving")
         .field("smoke", args.smoke)
         .field("arch", acfg.array.name())
+        .field("simd_kernel", benchSimdKernel())
         .field("streams", streams)
         .field("requests", requests)
         .field("lanes", clock.lanes)

@@ -58,6 +58,7 @@ main(int argc, char **argv)
     if (!args.json.empty()) {
         JsonWriter jw;
         jw.field("bench", "fig01_energy_breakdown")
+            .field("simd_kernel", benchSimdKernel())
             .field("total_uj", sa.energy.totalUj(), 3)
             .field("pe_buffer_share",
                    sa.energy.share(Component::PeBuffers), 4)

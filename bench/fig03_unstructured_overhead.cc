@@ -71,6 +71,7 @@ main(int argc, char **argv)
     if (!args.json.empty()) {
         JsonWriter jw;
         jw.field("bench", "fig03_unstructured_overhead")
+            .field("simd_kernel", benchSimdKernel())
             .field("smt2_energy_vs_zvcg", smt2_vs_zvcg, 3)
             .field("smt4_energy_vs_zvcg", smt4_vs_zvcg, 3)
             .field("smt2_speedup", pts[2].speedupOver(pts[0]), 3);

@@ -145,6 +145,7 @@ main(int argc, char **argv)
             defaultContext().planCache().stats();
         JsonWriter jw;
         jw.field("bench", "fig09_sparsity_sweep")
+            .field("simd_kernel", benchSimdKernel())
             .field("s2ta_aw_75pct_speedup", aw_75_speedup, 3)
             .field("paper_75pct_speedup", 4.0, 1)
             .field("cache_hits", cs.hits)

@@ -73,6 +73,7 @@ main(int argc, char **argv)
     if (!args.json.empty()) {
         JsonWriter jw;
         jw.field("bench", "fig10_conv_breakdown")
+            .field("simd_kernel", benchSimdKernel())
             .field("s2ta_aw_speedup_vs_zvcg",
                    pts[5].speedupOver(pts[1]), 3)
             .field("s2ta_aw_energy_vs_zvcg",

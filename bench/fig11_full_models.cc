@@ -87,6 +87,7 @@ main(int argc, char **argv)
             defaultContext().planCache().stats();
         JsonWriter jw;
         jw.field("bench", "fig11_full_models")
+            .field("simd_kernel", benchSimdKernel())
             .field("s2ta_aw_geomean_energy_reduction", aw_ge, 3)
             .field("s2ta_aw_geomean_speedup", aw_gs, 3)
             .field("paper_energy_reduction", 2.08, 2)

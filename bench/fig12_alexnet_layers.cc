@@ -88,6 +88,7 @@ main(int argc, char **argv)
     if (!args.json.empty()) {
         JsonWriter jw;
         jw.field("bench", "fig12_alexnet_layers")
+            .field("simd_kernel", benchSimdKernel())
             .field("s2ta_aw_total_uj", totals[4], 1)
             .field("sparten_over_s2ta_aw", totals[1] / totals[4], 3)
             .field("eyerissv2_over_s2ta_aw",

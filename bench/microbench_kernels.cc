@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "arch/gemm_kernels.hh"
 #include "arch/gemm_plan.hh"
 #include "arch/models.hh"
 #include "core/dap.hh"
@@ -103,6 +104,167 @@ BM_MaskIntersectGemm(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * p.denseMacs());
 }
 BENCHMARK(BM_MaskIntersectGemm)->Unit(benchmark::kMillisecond);
+
+/** True when @p kind's kernel is compiled in and the CPU has it. */
+bool
+tierUsable(DbbKernelKind kind)
+{
+    switch (kind) {
+      case DbbKernelKind::Scalar: return true;
+      case DbbKernelKind::SimdV2: return dbbSimdKernelSupportedImpl();
+      case DbbKernelKind::Avx2:   return dbbAvx2KernelSupportedImpl();
+      case DbbKernelKind::Avx512:
+        return dbbAvx512KernelSupportedImpl();
+    }
+    return false;
+}
+
+/** The row-dot entry point of one tier, bypassing the dispatcher. */
+int32_t (*
+tierRowDot(DbbKernelKind kind))(const DbbBlock *, const DbbBlock *,
+                                int)
+{
+    switch (kind) {
+      case DbbKernelKind::Scalar: return dbbDotRow;
+      case DbbKernelKind::SimdV2: return dbbDotRowSimdV2;
+      case DbbKernelKind::Avx2:   return dbbDotRowAvx2;
+      case DbbKernelKind::Avx512: return dbbDotRowAvx512;
+    }
+    return dbbDotRow;
+}
+
+/** Random DBB row at roughly the requested mask density. */
+std::vector<DbbBlock>
+tierRow(Rng &rng, int nblocks, int mask_bits)
+{
+    std::vector<DbbBlock> row(static_cast<size_t>(nblocks));
+    for (auto &b : row) {
+        b.mask = 0;
+        for (int s = 0; s < mask_bits; ++s)
+            b.mask = maskSet(b.mask,
+                             static_cast<int>(rng.uniformInt(0, 7)));
+        const int stored = maskPopcount(b.mask);
+        for (int s = 0; s < stored; ++s)
+            b.values[static_cast<size_t>(s)] = static_cast<int8_t>(
+                rng.uniformInt(-127, 127) | 1);
+    }
+    return row;
+}
+
+/**
+ * The per-tier mask-intersection row dot: kernel-ladder rows side
+ * by side. range(0) picks the tier (skipped with an error when the
+ * host/build lacks it — an absent row can never be mistaken for a
+ * slow one); range(1) picks the mask regime: dense 8/8 masks make
+ * the expansion/permute path the whole cost, sparse 4/8 masks make
+ * it an intersection-dominated dot. Bytes processed = stored DBB
+ * bytes of both rows, so bytes/sec is directly comparable across
+ * tiers and regimes.
+ */
+void
+BM_DbbRowDotTier(benchmark::State &state)
+{
+    const auto kind = static_cast<DbbKernelKind>(state.range(0));
+    const bool dense = state.range(1) != 0;
+    if (!tierUsable(kind)) {
+        state.SkipWithError("tier unavailable on this host/build");
+        return;
+    }
+    Rng rng(0xD07 + state.range(1));
+    const int nblocks = 144; // k = 1152, the conv sweet spot
+    const auto a = tierRow(rng, nblocks, dense ? 8 : 4);
+    const auto w = tierRow(rng, nblocks, dense ? 8 : 4);
+    auto *const fn = tierRowDot(kind);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fn(a.data(), w.data(), nblocks));
+    state.SetLabel(std::string(dbbKernelKindName(kind)) +
+                   (dense ? " expansion-bound (8/8 masks)"
+                          : " intersection (4/8 masks)"));
+    state.SetBytesProcessed(state.iterations() * 2 * nblocks *
+                            static_cast<int64_t>(sizeof(DbbBlock)));
+}
+BENCHMARK(BM_DbbRowDotTier)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 3, 1), {0, 1}})
+    ->Unit(benchmark::kNanosecond);
+
+/** Scalar reference dense dot (the baseline the VNNI row beats). */
+int32_t
+denseDotScalar(const int8_t *a, const int8_t *w, int k)
+{
+    int32_t sum = 0;
+    for (int x = 0; x < k; ++x)
+        sum += static_cast<int32_t>(a[x]) * w[x];
+    return sum;
+}
+
+/**
+ * The dense-mirror contraction: scalar loop vs the AVX512-VNNI
+ * vpdpbusd kernel (range(0)). This is the dot product dbbGemm picks
+ * when mask intersection stops paying (>= half the block pairs
+ * matched), i.e. the hot loop of the 4/8-density engine bench.
+ */
+void
+BM_DenseDotTier(benchmark::State &state)
+{
+    const bool vnni = state.range(0) != 0;
+    if (vnni && !dbbVnniKernelSupportedImpl()) {
+        state.SkipWithError("no AVX512-VNNI on this host/build");
+        return;
+    }
+    Rng rng(0xDE4);
+    const int k = 1152;
+    std::vector<int8_t> a(static_cast<size_t>(k));
+    std::vector<int8_t> w(static_cast<size_t>(k));
+    for (int x = 0; x < k; ++x) {
+        a[static_cast<size_t>(x)] =
+            static_cast<int8_t>(rng.uniformInt(-128, 127));
+        w[static_cast<size_t>(x)] =
+            static_cast<int8_t>(rng.uniformInt(-128, 127));
+    }
+    auto *const fn = vnni ? dbbDenseDotVnni : denseDotScalar;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fn(a.data(), w.data(), k));
+    state.SetLabel(vnni ? "avx512-vnni" : "scalar");
+    state.SetBytesProcessed(state.iterations() * 2 * k);
+}
+BENCHMARK(BM_DenseDotTier)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kNanosecond);
+
+/**
+ * OperandProfile::fromDbb per derivation tier: the forced-scalar
+ * per-bit mask loops vs the VPOPCNTDQ vectorized popcount +
+ * histogram (range(0)). Same work as BM_OperandProfileFromDbb,
+ * dispatch pinned either side.
+ */
+void
+BM_ProfileDerivationTier(benchmark::State &state)
+{
+    const bool simd = state.range(0) != 0;
+    if (simd && !dbbVpopcntKernelSupportedImpl()) {
+        state.SkipWithError("no AVX512-VPOPCNTDQ on this "
+                            "host/build");
+        return;
+    }
+    const GemmProblem &p = sharedProblem();
+    const GemmPlan plan = GemmPlan::build(p);
+    dbbForceKernelCap(simd ? DbbKernelKind::Avx512
+                           : DbbKernelKind::Scalar);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            OperandProfile::fromDbb(p, plan.act(), plan.wgt()));
+    dbbForceKernelCap(DbbKernelKind::Avx512);
+    state.SetLabel(simd ? "avx512-vpopcntdq" : "scalar-bitloops");
+    state.SetBytesProcessed(
+        state.iterations() *
+        (static_cast<int64_t>(p.m) * p.k +
+         static_cast<int64_t>(p.k) * p.n) / 8); // mask bytes read
+}
+BENCHMARK(BM_ProfileDerivationTier)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
 
 void
 BM_DbbEncodeDecode(benchmark::State &state)

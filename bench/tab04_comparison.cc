@@ -159,6 +159,7 @@ main(int argc, char **argv)
             defaultContext().planCache().stats();
         JsonWriter jw;
         jw.field("bench", "tab04_comparison")
+            .field("simd_kernel", benchSimdKernel())
             .field("cache_hits", cs.hits)
             .field("cache_misses", cs.misses);
         jw.write(args.json);

@@ -257,8 +257,10 @@ Accelerator::executePrepared(const PreparedLayer &prep,
     lr.act_nnz_used = wl.act_nnz;
 
     // The GEMM-level options inherit the caller's engine/cache
-    // knobs; the shard pool lets a single big GEMM's tile grid fan
-    // out in row stripes even when the group fan-out is 1.
+    // knobs; the shard pool lets a single big GEMM fan out even when
+    // the group fan-out is 1 — both the functional kernels (row
+    // stripes) and the per-PE timing/event loops of the models
+    // (tile-grid stripes, SMT tile samples) shard over it.
     RunOptions gemm_opt = opt;
     gemm_opt.shard_pool = shardPool();
 

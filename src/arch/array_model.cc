@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <span>
 
+#include "arch/gemm_kernels.hh"
 #include "arch/gemm_plan.hh"
 #include "arch/models.hh"
 #include "arch/plan_cache.hh"
@@ -69,16 +70,27 @@ OperandProfile::fromDbb(const GemmProblem &p, const DbbMatrix &act,
 
     // Per-vector counts from block popcounts, per-position counts
     // from mask bit loops: O(blocks + nnz), no dense scan. Tail
-    // padding positions (>= k) are never set in any mask.
+    // padding positions (>= k) are never set in any mask. With the
+    // AVX-512 tier active and the standard 8-wide blocks, whole
+    // vectors go through the VPOPCNTDQ/vpmovm2b sub-kernel instead
+    // (bit-identical; see dbbProfileVectorAvx512).
     const int act_bz = act.spec().bz;
+    const bool simd_profile = dbbProfileSimdEnabled();
     for (int i = 0; i < p.m; ++i) {
         const DbbBlock *row = act.vectorBlocks(i);
         int32_t nz = 0;
-        for (int b = 0; b < act.blocksPerVector(); ++b) {
-            nz += maskPopcount(row[b].mask);
-            for (Mask8 m = row[b].mask; m; m = maskClearLowest(m)) {
-                ++prof.act_nz_at_k[static_cast<size_t>(
-                    b * act_bz + maskLowestSetBit(m))];
+        if (simd_profile && act_bz == 8) {
+            nz = static_cast<int32_t>(dbbProfileVectorAvx512(
+                row, act.blocksPerVector(),
+                prof.act_nz_at_k.data(), p.k));
+        } else {
+            for (int b = 0; b < act.blocksPerVector(); ++b) {
+                nz += maskPopcount(row[b].mask);
+                for (Mask8 m = row[b].mask; m;
+                     m = maskClearLowest(m)) {
+                    ++prof.act_nz_at_k[static_cast<size_t>(
+                        b * act_bz + maskLowestSetBit(m))];
+                }
             }
         }
         prof.row_nz[static_cast<size_t>(i)] = nz;
@@ -88,11 +100,18 @@ OperandProfile::fromDbb(const GemmProblem &p, const DbbMatrix &act,
     for (int j = 0; j < p.n; ++j) {
         const DbbBlock *col = wgt.vectorBlocks(j);
         int32_t nz = 0;
-        for (int b = 0; b < wgt.blocksPerVector(); ++b) {
-            nz += maskPopcount(col[b].mask);
-            for (Mask8 m = col[b].mask; m; m = maskClearLowest(m)) {
-                ++prof.wgt_nz_at_k[static_cast<size_t>(
-                    b * wgt_bz + maskLowestSetBit(m))];
+        if (simd_profile && wgt_bz == 8) {
+            nz = static_cast<int32_t>(dbbProfileVectorAvx512(
+                col, wgt.blocksPerVector(),
+                prof.wgt_nz_at_k.data(), p.k));
+        } else {
+            for (int b = 0; b < wgt.blocksPerVector(); ++b) {
+                nz += maskPopcount(col[b].mask);
+                for (Mask8 m = col[b].mask; m;
+                     m = maskClearLowest(m)) {
+                    ++prof.wgt_nz_at_k[static_cast<size_t>(
+                        b * wgt_bz + maskLowestSetBit(m))];
+                }
             }
         }
         prof.col_nz[static_cast<size_t>(j)] = nz;

@@ -22,13 +22,13 @@
 #include "arch/array_config.hh"
 #include "arch/event_counts.hh"
 #include "base/random.hh"
+#include "base/thread_pool.hh"
 #include "tensor/gemm.hh"
 
 namespace s2ta {
 
 class GemmPlan;
 class PlanCache;
-class ThreadPool;
 
 /**
  * Which simulation engine executes the run.
@@ -74,9 +74,12 @@ struct RunOptions
     /**
      * Intra-GEMM tile-stripe sharding: when set, the functional
      * kernels split the output tile grid into row stripes across
-     * this pool's lanes (bitwise identical to serial at any lane
-     * count). Event accounting is closed-form and stays serial.
-     * Not owned; nullptr = serial.
+     * this pool's lanes, the per-PE tile-grid event loops of the
+     * S2TA models shard the same way for large grids
+     * (ArrayModel::sumTileGrid), and the SMT queue-timing loop fans
+     * its sampled tiles across the pool after a serial RNG
+     * pre-draw. Every path is bitwise identical to serial at any
+     * lane count. Not owned; nullptr = serial.
      */
     ThreadPool *shard_pool = nullptr;
 };
@@ -170,6 +173,14 @@ class ArrayModel
     /** Same contract, from a plan's cached masks (popcount test). */
     void checkPlan(const GemmPlan &plan) const;
 
+    /**
+     * Tile grids at or above this many tiles shard their per-tile
+     * event loops across RunOptions::shard_pool (below it, stripe
+     * dispatch would cost more than the loop). Public so tests and
+     * benches can construct grids on either side of the cutover.
+     */
+    static constexpr int64_t kShardTileThreshold = 1024;
+
   protected:
     explicit ArrayModel(ArrayConfig cfg_);
 
@@ -236,6 +247,51 @@ class ArrayModel
     };
 
     TileGrid tileGrid(int m, int n) const;
+
+    /**
+     * Sum @p tile_fn(trow, tcol) over the whole tile grid. Large
+     * grids (>= kShardTileThreshold tiles) with a pool split the
+     * tile rows into stripes with one partial accumulator per
+     * stripe, reduced in stripe order afterwards; stripes own
+     * disjoint rows and INT64 wrapping addition is
+     * order-independent, so the result is bitwise identical to the
+     * serial double loop at any lane count (and with the pool off).
+     */
+    template <typename TileFn>
+    static int64_t
+    sumTileGrid(const TileGrid &grid, ThreadPool *pool,
+                const TileFn &tile_fn)
+    {
+        if (pool == nullptr || grid.tiles() < kShardTileThreshold) {
+            int64_t sum = 0;
+            for (int trow = 0; trow < grid.row_tiles; ++trow)
+                for (int tcol = 0; tcol < grid.col_tiles; ++tcol)
+                    sum += tile_fn(trow, tcol);
+            return sum;
+        }
+        constexpr int64_t kStripeTileRows = 8;
+        const int64_t stripes =
+            (grid.row_tiles + kStripeTileRows - 1) /
+            kStripeTileRows;
+        std::vector<int64_t> partial(static_cast<size_t>(stripes),
+                                     0);
+        pool->parallelForStripes(
+            grid.row_tiles, kStripeTileRows,
+            [&](int64_t begin, int64_t end) {
+                int64_t sum = 0;
+                for (int64_t trow = begin; trow < end; ++trow)
+                    for (int tcol = 0; tcol < grid.col_tiles;
+                         ++tcol)
+                        sum += tile_fn(static_cast<int>(trow),
+                                       tcol);
+                partial[static_cast<size_t>(begin /
+                                            kStripeTileRows)] = sum;
+            });
+        int64_t sum = 0;
+        for (int64_t s = 0; s < stripes; ++s)
+            sum += partial[static_cast<size_t>(s)];
+        return sum;
+    }
 
     ArrayConfig cfg;
 };

@@ -43,6 +43,50 @@ int32_t dbbDotRowAvx2(const DbbBlock *a, const DbbBlock *w,
 /** True when the AVX2 tier is compiled in and this CPU has it. */
 bool dbbAvx2KernelSupportedImpl();
 
+/**
+ * AVX-512 tier (gemm_kernels_avx512.cc): EIGHT blocks per operand
+ * expand into one 512-bit register per masked-zeroing vpermi2b
+ * (AVX512VBMI), then one 512-bit madd tree contracts 64 dense INT8
+ * lanes per iteration.
+ */
+int32_t dbbDotRowAvx512(const DbbBlock *a, const DbbBlock *w,
+                        int nblocks);
+
+/** True when the AVX-512 intersection kernel is compiled in and
+ *  this CPU has avx512bw + avx512vbmi. */
+bool dbbAvx512KernelSupportedImpl();
+
+/**
+ * VNNI dense-mirror dot product (sub-feature of the AVX-512 tier):
+ * one vpdpbusd contracts 64 INT8 pairs per instruction. vpdpbusd is
+ * u8 x s8, so the signed result is recovered exactly as
+ * dp(a ^ 0x80, w) - 128 * dp(1, w) — bit-identical to the scalar
+ * INT32 wrapping accumulation.
+ */
+int32_t dbbDenseDotVnni(const int8_t *a, const int8_t *w, int k);
+
+/** True when the VNNI dense dot is compiled in and this CPU has
+ *  avx512vnni (probed independently of the intersection kernel). */
+bool dbbVnniKernelSupportedImpl();
+
+/**
+ * VPOPCNTDQ profile derivation (sub-feature of the AVX-512 tier):
+ * adds the per-position non-zero counts of one encoded vector of
+ * bz == 8 blocks into hist[block * 8 + bit] and returns the
+ * vector's total mask popcount. Groups of 8 blocks whose full
+ * 64-position window fits inside @p hist_len go through the SIMD
+ * path (packed-mask vpopcntq for the total, vpmovm2b widening for
+ * the histogram); trailing blocks fall back to per-bit updates.
+ * Bit-identical to the scalar mask loops in
+ * OperandProfile::fromDbb.
+ */
+int64_t dbbProfileVectorAvx512(const DbbBlock *blocks, int nblocks,
+                               int32_t *hist, int hist_len);
+
+/** True when the VPOPCNTDQ profile path is compiled in and this CPU
+ *  has avx512vpopcntdq + avx512bw. */
+bool dbbVpopcntKernelSupportedImpl();
+
 } // namespace s2ta
 
 #endif // S2TA_ARCH_GEMM_KERNELS_HH

@@ -13,11 +13,28 @@ namespace s2ta {
 
 namespace {
 
-std::atomic<bool> force_scalar_kernel{false};
+/** Forced dispatch ceiling; Avx512 (the widest tier) = unclamped. */
+std::atomic<int> kernel_cap{static_cast<int>(DbbKernelKind::Avx512)};
 
-/** Row-dot signature both intersection kernels share. */
+/** Row-dot signature all intersection kernels share. */
 using RowDotFn = int32_t (*)(const DbbBlock *, const DbbBlock *,
                              int);
+
+/** Dense-dot signature the dense-mirror contraction dispatches. */
+using DenseDotFn = int32_t (*)(const int8_t *, const int8_t *, int);
+
+/** Widest compiled-in tier this CPU supports (cpuid results cannot
+ *  change at runtime; memoized). */
+DbbKernelKind
+widestSupportedKernel()
+{
+    static const DbbKernelKind kind =
+        dbbAvx512KernelSupportedImpl() ? DbbKernelKind::Avx512
+        : dbbAvx2KernelSupportedImpl() ? DbbKernelKind::Avx2
+        : dbbSimdKernelSupportedImpl() ? DbbKernelKind::SimdV2
+                                       : DbbKernelKind::Scalar;
+    return kind;
+}
 
 /**
  * Shared kernel-selection predicate: below ~0.5 matched products
@@ -98,11 +115,14 @@ denseDot(const int8_t *a, const int8_t *w, int k)
 /**
  * Branch-free SIMD contraction over the dense activation rows and
  * the transposed weight mirror, row-tiled like intersectGemmRows,
- * covering output rows [row_begin, row_end).
+ * covering output rows [row_begin, row_end). @p ddot is the
+ * dispatched dense dot (SSE2 unpack/madd baseline or the VNNI
+ * vpdpbusd sub-kernel).
  */
 void
 denseGemmRows(const GemmProblem &p, const int8_t *wgt_t,
-              int row_begin, int row_end, int32_t *out)
+              int row_begin, int row_end, DenseDotFn ddot,
+              int32_t *out)
 {
     constexpr int kRowTile = 64;
     for (int i0 = row_begin; i0 < row_end; i0 += kRowTile) {
@@ -111,7 +131,7 @@ denseGemmRows(const GemmProblem &p, const int8_t *wgt_t,
             const int8_t *wcol =
                 wgt_t + static_cast<size_t>(j) * p.k;
             for (int i = i0; i < ilim; ++i) {
-                out[static_cast<size_t>(i) * p.n + j] = denseDot(
+                out[static_cast<size_t>(i) * p.n + j] = ddot(
                     &p.a[static_cast<size_t>(i) * p.k], wcol, p.k);
             }
         }
@@ -148,6 +168,18 @@ forRowStripes(int m, ThreadPool *pool, const RowsFn &rows_fn)
 
 } // anonymous namespace
 
+const char *
+dbbKernelKindName(DbbKernelKind kind)
+{
+    switch (kind) {
+      case DbbKernelKind::Scalar: return "scalar";
+      case DbbKernelKind::SimdV2: return "ssse3";
+      case DbbKernelKind::Avx2:   return "avx2";
+      case DbbKernelKind::Avx512: return "avx512";
+    }
+    s2ta_panic("unknown kernel kind");
+}
+
 bool
 dbbSimdKernelAvailable()
 {
@@ -159,21 +191,45 @@ dbbSimdKernelAvailable()
 DbbKernelKind
 dbbActiveKernel()
 {
-    if (force_scalar_kernel.load(std::memory_order_relaxed))
-        return DbbKernelKind::Scalar;
-    // cpuid results cannot change at runtime; memoize the probes.
-    // Widest tier first: AVX2 batches twice the blocks per shuffle.
-    static const DbbKernelKind kind =
-        dbbAvx2KernelSupportedImpl() ? DbbKernelKind::Avx2
-        : dbbSimdKernelAvailable()   ? DbbKernelKind::SimdV2
-                                     : DbbKernelKind::Scalar;
-    return kind;
+    const auto cap = static_cast<DbbKernelKind>(
+        kernel_cap.load(std::memory_order_relaxed));
+    const DbbKernelKind widest = widestSupportedKernel();
+    return cap < widest ? cap : widest;
+}
+
+void
+dbbForceKernelCap(DbbKernelKind cap)
+{
+    kernel_cap.store(static_cast<int>(cap),
+                     std::memory_order_relaxed);
+}
+
+DbbKernelKind
+dbbKernelCap()
+{
+    return static_cast<DbbKernelKind>(
+        kernel_cap.load(std::memory_order_relaxed));
 }
 
 void
 dbbForceScalarKernel(bool force)
 {
-    force_scalar_kernel.store(force, std::memory_order_relaxed);
+    dbbForceKernelCap(force ? DbbKernelKind::Scalar
+                            : DbbKernelKind::Avx512);
+}
+
+bool
+dbbVnniDenseEnabled()
+{
+    static const bool supported = dbbVnniKernelSupportedImpl();
+    return supported && dbbKernelCap() >= DbbKernelKind::Avx512;
+}
+
+bool
+dbbProfileSimdEnabled()
+{
+    static const bool supported = dbbVpopcntKernelSupportedImpl();
+    return supported && dbbKernelCap() >= DbbKernelKind::Avx512;
 }
 
 void
@@ -186,19 +242,27 @@ dbbGemm(const GemmPlan &plan, int32_t *out, ThreadPool *shard_pool)
         plan.act().blocksPerVector();
     if (plan.wgtDenseT() != nullptr &&
         wantsDenseKernel(plan.profile(), block_pairs)) {
+        // The dense-mirror contraction sub-dispatches to the VNNI
+        // vpdpbusd dot when the AVX-512 tier is active; the SSE2
+        // unpack/madd tree is the baseline. Both wrap mod 2^32, so
+        // outputs are bit-identical either way.
+        const DenseDotFn ddot =
+            dbbVnniDenseEnabled() ? dbbDenseDotVnni : denseDot;
         forRowStripes(p.m, shard_pool,
                       [&](int row_begin, int row_end) {
                           denseGemmRows(p, plan.wgtDenseT(),
-                                        row_begin, row_end, out);
+                                        row_begin, row_end, ddot,
+                                        out);
                       });
         return;
     }
 #endif
     const DbbKernelKind kind = dbbActiveKernel();
-    const RowDotFn dot = kind == DbbKernelKind::Avx2 ? dbbDotRowAvx2
-                         : kind == DbbKernelKind::SimdV2
-                             ? dbbDotRowSimdV2
-                             : dbbDotRow;
+    const RowDotFn dot =
+        kind == DbbKernelKind::Avx512 ? dbbDotRowAvx512
+        : kind == DbbKernelKind::Avx2 ? dbbDotRowAvx2
+        : kind == DbbKernelKind::SimdV2 ? dbbDotRowSimdV2
+                                        : dbbDotRow;
     forRowStripes(p.m, shard_pool, [&](int row_begin, int row_end) {
         intersectGemmRows(plan.act(), plan.wgt(), p.n, row_begin,
                           row_end, dot, out);

@@ -40,9 +40,11 @@ class ThreadPool;
  * mask's expansion permutation, looked up in a 256-entry table) and
  * contracts them with the same madd tree as the dense kernel; the
  * AVX2 tier widens the same scheme to four blocks per operand per
- * 256-bit shuffle. Every tier is bit-identical to the scalar
- * rank-gather loop (skipped positions contribute exact zeros and
- * INT32 wraparound addition is order-independent).
+ * 256-bit shuffle; the AVX-512 tier (x86-64-v4) expands eight
+ * blocks per masked-zeroing vpermi2b and carries the VNNI dense-dot
+ * and VPOPCNTDQ profile sub-kernels. Every tier is bit-identical to
+ * the scalar rank-gather loop (skipped positions contribute exact
+ * zeros and INT32 wraparound addition is order-independent).
  */
 enum class DbbKernelKind
 {
@@ -52,26 +54,58 @@ enum class DbbKernelKind
     SimdV2,
     /** 256-bit vpshufb expansion, four blocks per shuffle (AVX2). */
     Avx2,
+    /** 512-bit masked vpermi2b expansion, eight blocks per permute
+     *  (AVX512BW+VBMI), with VNNI/VPOPCNTDQ sub-dispatch. */
+    Avx512,
 };
+
+/** Canonical lower-case tier name ("scalar", "ssse3", "avx2",
+ *  "avx512") — the value bench JSON records as simd_kernel. */
+const char *dbbKernelKindName(DbbKernelKind kind);
 
 /**
  * True when the SSSE3 kernel was compiled in (S2TA_ENABLE_X86_64_V2)
  * and this CPU supports it; the dispatcher falls back to the scalar
- * kernel otherwise. The AVX2 tier (same build option) is probed
- * separately and preferred when present.
+ * kernel otherwise. The wider tiers are probed separately and
+ * preferred when present.
  */
 bool dbbSimdKernelAvailable();
 
-/** The kernel dbbGemm's intersection path will actually use. */
+/** The kernel dbbGemm's intersection path will actually use: the
+ *  widest compiled-in tier this CPU supports, clamped to the forced
+ *  cap (dbbForceKernelCap). */
 DbbKernelKind dbbActiveKernel();
+
+/**
+ * Clamp runtime dispatch to at most @p cap (Avx512, the default,
+ * means no clamp — dispatch picks the widest supported tier). The
+ * cap pins *every* SIMD decision, not just the intersection row
+ * dot: capping below Avx512 also disables the VNNI dense-mirror dot
+ * and the VPOPCNTDQ profile derivation, so e.g. a forced "avx2"
+ * run executes zero AVX-512 instructions anywhere. Used by the
+ * --simd bench flag and by the tier-equivalence tests; thread-safe.
+ */
+void dbbForceKernelCap(DbbKernelKind cap);
+
+/** The currently forced cap (Avx512 = unclamped). */
+DbbKernelKind dbbKernelCap();
 
 /**
  * Test hook: pin the intersection kernel to the scalar
  * implementation even when the SIMD one is available (for
- * equivalence tests that compare both in one process). Not for
- * production use; thread-safe.
+ * equivalence tests that compare both in one process). Equivalent
+ * to dbbForceKernelCap(Scalar) / (Avx512). Not for production use;
+ * thread-safe.
  */
 void dbbForceScalarKernel(bool force);
+
+/** True when dbbGemm's dense-mirror path will use the VNNI
+ *  vpdpbusd dot (compiled in, CPU support, cap not below Avx512). */
+bool dbbVnniDenseEnabled();
+
+/** True when OperandProfile::fromDbb may use the AVX-512 VPOPCNTDQ
+ *  derivation (compiled in, CPU support, cap not below Avx512). */
+bool dbbProfileSimdEnabled();
 
 /**
  * DBB-native functional GEMM over a plan's caches. Two exact

@@ -91,14 +91,23 @@ SaSmtModel::simulate(const GemmPlan &plan, const RunOptions &opt,
     // non-zero tests from the cached masks instead of the dense
     // operands; the booleans (and so the cycle totals) are
     // identical.
+    //
+    // The whole sample schedule is drawn serially first, in exactly
+    // the order the serial loop would consume the RNG; the
+    // expensive part (arrival histograms + queue automata) then
+    // fans the sampled tiles across opt.shard_pool when set. Each
+    // tile writes only its own worst-PE slot and the per-tile
+    // results are reduced in tile order, so the cycle totals are
+    // bitwise identical at any lane count (and with the pool off).
     Rng rng(opt.seed);
     const int64_t total_tiles = grid.tiles();
     const int sim_tiles = static_cast<int>(std::min<int64_t>(
         total_tiles, std::max(1, opt.smt_sample_tiles)));
     const int64_t fill = cfg.tileRows() + cfg.tileCols();
+    const int samples = std::max(1, opt.smt_sample_pes);
 
-    int64_t sampled_cycles = 0;
-    std::vector<int> arrivals(static_cast<size_t>(slots_per_thread));
+    std::vector<int> pe_i(static_cast<size_t>(sim_tiles) * samples);
+    std::vector<int> pe_j(static_cast<size_t>(sim_tiles) * samples);
     for (int s = 0; s < sim_tiles; ++s) {
         const int tr = static_cast<int>(
             rng.uniformInt(0, grid.row_tiles - 1));
@@ -108,30 +117,41 @@ SaSmtModel::simulate(const GemmPlan &plan, const RunOptions &opt,
         const int col0 = tc * grid.eff_cols;
         const int rows = std::min(grid.eff_rows, p.m - row0);
         const int cols = std::min(grid.eff_cols, p.n - col0);
-
-        int64_t worst = 0;
-        const int samples = std::max(1, opt.smt_sample_pes);
         for (int t = 0; t < samples; ++t) {
-            const int i =
-                row0 + static_cast<int>(rng.uniformInt(0, rows - 1));
-            const int j =
-                col0 + static_cast<int>(rng.uniformInt(0, cols - 1));
+            const size_t slot =
+                static_cast<size_t>(s) * samples + t;
+            pe_i[slot] = row0 + static_cast<int>(
+                                    rng.uniformInt(0, rows - 1));
+            pe_j[slot] = col0 + static_cast<int>(
+                                    rng.uniformInt(0, cols - 1));
+        }
+    }
+
+    std::vector<int64_t> tile_worst(static_cast<size_t>(sim_tiles),
+                                    0);
+    const auto simTile = [&](int s) {
+        std::vector<int> arrivals(
+            static_cast<size_t>(slots_per_thread));
+        int64_t worst = 0;
+        for (int t = 0; t < samples; ++t) {
+            const size_t slot =
+                static_cast<size_t>(s) * samples + t;
+            const int i = pe_i[slot];
+            const int j = pe_j[slot];
             // Thread th owns the contiguous K chunk
             // [th*slots_per_thread, ...).
             if (scalar) {
-                for (int slot = 0; slot < slots_per_thread;
-                     ++slot) {
+                for (int sl = 0; sl < slots_per_thread; ++sl) {
                     int arr = 0;
                     for (int th = 0; th < tcount; ++th) {
-                        const int kk =
-                            th * slots_per_thread + slot;
+                        const int kk = th * slots_per_thread + sl;
                         if (kk >= p.k)
                             continue;
                         if (p.actAt(i, kk) != 0 &&
                             p.wgtAt(kk, j) != 0)
                             ++arr;
                     }
-                    arrivals[static_cast<size_t>(slot)] = arr;
+                    arrivals[static_cast<size_t>(sl)] = arr;
                 }
             } else {
                 // DBB-native sampling: one mask AND yields all
@@ -158,8 +178,19 @@ SaSmtModel::simulate(const GemmPlan &plan, const RunOptions &opt,
             }
             worst = std::max(worst, queueCycles(arrivals, qdepth));
         }
-        sampled_cycles += worst + fill;
+        tile_worst[static_cast<size_t>(s)] = worst;
+    };
+    if (opt.shard_pool != nullptr && sim_tiles > 1) {
+        opt.shard_pool->parallelFor(sim_tiles, [&](int64_t s) {
+            simTile(static_cast<int>(s));
+        });
+    } else {
+        for (int s = 0; s < sim_tiles; ++s)
+            simTile(s);
     }
+    int64_t sampled_cycles = 0;
+    for (int s = 0; s < sim_tiles; ++s)
+        sampled_cycles += tile_worst[static_cast<size_t>(s)] + fill;
     const double mean_tile =
         static_cast<double>(sampled_cycles) / sim_tiles;
     ev.cycles = static_cast<int64_t>(

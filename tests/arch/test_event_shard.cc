@@ -1,0 +1,128 @@
+/** @file Determinism tests for the sharded per-PE timing/event
+ *  loops: every model's event counts (and the energy roll-up, a
+ *  pure function of them) must be bitwise identical whether the
+ *  tile-grid and SMT sampling loops run serially or sharded across
+ *  a pool, at any lane count — on grids above the shard cutover
+ *  (stripe dispatch engaged) and on tiny single-stripe grids (the
+ *  inline short-circuit). */
+
+#include <gtest/gtest.h>
+
+#include "arch/models.hh"
+#include "base/thread_pool.hh"
+#include "energy/energy_model.hh"
+#include "workload/sparse_gen.hh"
+
+namespace s2ta {
+namespace {
+
+/** Tiles of an unfolded m x n output on @p cfg's array. */
+int64_t
+unfoldedTiles(const ArrayConfig &cfg, int m, int n)
+{
+    const int64_t rt = (m + cfg.tileRows() - 1) / cfg.tileRows();
+    const int64_t ct = (n + cfg.tileCols() - 1) / cfg.tileCols();
+    return rt * ct;
+}
+
+/** Run @p p serially, then on 2-lane and 8-lane pools, asserting
+ *  events and the per-component energy roll-up are identical. */
+void
+expectLaneCountInvariant(const ArrayConfig &cfg,
+                         const GemmProblem &p, bool compute_output)
+{
+    const auto model = makeArrayModel(cfg);
+    RunOptions serial;
+    serial.compute_output = compute_output;
+    const GemmRun a = model->run(p, serial);
+
+    AcceleratorConfig acfg;
+    acfg.array = cfg;
+    const EnergyModel em(TechParams::tsmc16(), acfg);
+    const EnergyBreakdown ea = em.energy(a.events);
+
+    for (const int workers : {1, 7}) {
+        ThreadPool pool(workers);
+        RunOptions sharded = serial;
+        sharded.shard_pool = &pool;
+        const GemmRun b = model->run(p, sharded);
+        EXPECT_TRUE(a.events == b.events)
+            << cfg.name() << " workers=" << workers;
+        if (compute_output) {
+            EXPECT_EQ(a.output, b.output)
+                << cfg.name() << " workers=" << workers;
+        }
+        const EnergyBreakdown eb = em.energy(b.events);
+        EXPECT_TRUE(ea.pj == eb.pj)
+            << cfg.name() << " workers=" << workers;
+    }
+}
+
+TEST(EventShard, LargeTileGridIsLaneCountInvariant)
+{
+    // Grids past kShardTileThreshold: the per-tile operand-register
+    // loops actually stripe across the pool. K stays small so the
+    // big M x N output grid, not the encode, dominates the test.
+    Rng rng(0x54A2);
+    {
+        const ArrayConfig cfg = ArrayConfig::s2taW(); // 16x32 tiles
+        ASSERT_GE(unfoldedTiles(cfg, 1024, 1024),
+                  ArrayModel::kShardTileThreshold);
+        const GemmProblem p =
+            makeDbbGemm(1024, 64, 1024, 4, 8, rng);
+        expectLaneCountInvariant(cfg, p, false);
+    }
+    {
+        const ArrayConfig cfg = ArrayConfig::s2taAw(4); // 64x32
+        ASSERT_GE(unfoldedTiles(cfg, 2048, 1024),
+                  ArrayModel::kShardTileThreshold);
+        const GemmProblem p =
+            makeDbbGemm(2048, 64, 1024, 4, 4, rng);
+        expectLaneCountInvariant(cfg, p, false);
+    }
+}
+
+TEST(EventShard, TinyGridIsLaneCountInvariant)
+{
+    // Single-tile grids: the pool is set but the loops stay on the
+    // serial path (below the cutover / a single SMT sample tile);
+    // outputs are cheap enough to compare too.
+    Rng rng(0x54A3);
+    {
+        const ArrayConfig cfg = ArrayConfig::s2taW();
+        ASSERT_LT(unfoldedTiles(cfg, 16, 32),
+                  ArrayModel::kShardTileThreshold);
+        expectLaneCountInvariant(
+            cfg, makeDbbGemm(16, 64, 32, 4, 8, rng), true);
+    }
+    {
+        const ArrayConfig cfg = ArrayConfig::s2taAw(4);
+        expectLaneCountInvariant(
+            cfg, makeDbbGemm(64, 64, 32, 4, 4, rng), true);
+    }
+    {
+        const ArrayConfig cfg = ArrayConfig::saSmt(2);
+        expectLaneCountInvariant(
+            cfg,
+            makeUnstructuredGemm(32, 64, 64, 0.5, 0.5, rng), true);
+    }
+}
+
+TEST(EventShard, SmtSampledTimingIsLaneCountInvariant)
+{
+    // The SMT queue automaton fans its sampled tiles across the
+    // pool after a serial RNG pre-draw; sampled cycle totals (and
+    // so ev.cycles) must not depend on the lane count. The grid is
+    // large enough that all smt_sample_tiles draws land on distinct
+    // tiles with high probability.
+    Rng rng(0x54A4);
+    const ArrayConfig cfg = ArrayConfig::saSmt(2); // 32x64 tiles
+    ASSERT_GE(unfoldedTiles(cfg, 1024, 2048),
+              ArrayModel::kShardTileThreshold);
+    const GemmProblem p =
+        makeUnstructuredGemm(1024, 64, 2048, 0.5, 0.5, rng);
+    expectLaneCountInvariant(cfg, p, false);
+}
+
+} // namespace
+} // namespace s2ta

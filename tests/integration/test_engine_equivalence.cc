@@ -199,7 +199,8 @@ TEST(EngineEquivalence, SimdV2KernelMatchesScalarKernel)
     // With the x86-64-v2 build off (or an old CPU) this pins the
     // dispatcher to the scalar kernel twice — trivially equal; with
     // it on, it is the widest-SIMD-tier-vs-scalar bitwise check
-    // (AVX2 when the CPU has it, SSSE3 otherwise).
+    // (AVX-512 with the v4 build on capable hardware, then AVX2,
+    // then SSSE3).
     Rng rng(0xE6);
     // Sparse operating point so dbbGemm picks the intersection
     // kernel (the dense-mirror path bypasses the dispatcher).
@@ -216,7 +217,9 @@ TEST(EngineEquivalence, SimdV2KernelMatchesScalarKernel)
 
     EXPECT_EQ(scalar_kernel.output, auto_kernel.output);
     EXPECT_EQ(auto_kernel.output, gemmReference(p));
-    if (dbbAvx2KernelSupportedImpl()) {
+    if (dbbAvx512KernelSupportedImpl()) {
+        EXPECT_EQ(dbbActiveKernel(), DbbKernelKind::Avx512);
+    } else if (dbbAvx2KernelSupportedImpl()) {
         EXPECT_EQ(dbbActiveKernel(), DbbKernelKind::Avx2);
     } else if (dbbSimdKernelAvailable()) {
         EXPECT_EQ(dbbActiveKernel(), DbbKernelKind::SimdV2);
